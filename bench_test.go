@@ -1,0 +1,359 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation. Each benchmark regenerates its experiment end-to-end through
+// the shared drivers in internal/experiments and reports the headline
+// quantity the paper's artifact shows, so `go test -bench=.` both times
+// the models and re-derives the results. Run `go run ./cmd/sudcsim all`
+// for the full tables.
+package spacedc_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"spacedc/internal/apps"
+	"spacedc/internal/core"
+	"spacedc/internal/experiments"
+	"spacedc/internal/gpusim"
+	"spacedc/internal/report"
+)
+
+// run executes one registered experiment b.N times and returns the last
+// result for metric extraction.
+func run(b *testing.B, id string) []report.Table {
+	b.Helper()
+	var tables []report.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tables, err = experiments.Run(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tables
+}
+
+// cellInt parses an integer cell, tolerating the "*" bottleneck marker.
+func cellInt(b *testing.B, s string) float64 {
+	b.Helper()
+	v, err := strconv.Atoi(strings.TrimSuffix(strings.TrimSpace(s), "*"))
+	if err != nil {
+		b.Fatalf("cell %q: %v", s, err)
+	}
+	return float64(v)
+}
+
+func BenchmarkFig2Resolution(b *testing.B) {
+	tables := run(b, "fig2")
+	b.ReportMetric(float64(len(tables[0].Rows)), "milestones")
+}
+
+func BenchmarkFig3Downlink(b *testing.B) {
+	tables := run(b, "fig3")
+	b.ReportMetric(float64(len(tables[0].Rows)), "milestones")
+}
+
+func BenchmarkFig4DataGenerationAndChannels(b *testing.B) {
+	tables := run(b, "fig4")
+	if len(tables) != 2 {
+		b.Fatal("fig4 should produce the 4a and 4b panels")
+	}
+	b.ReportMetric(float64(len(tables[0].Rows)*len(tables[0].Columns)), "cells")
+}
+
+func BenchmarkFig5DownlinkDeficit(b *testing.B) {
+	tables := run(b, "fig5")
+	// Headline: deficit at 10 cm with a single channel (last row, first
+	// data column of panel a).
+	last := tables[0].Rows[len(tables[0].Rows)-1]
+	v, err := strconv.ParseFloat(last[1], 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(v, "deficit@10cm/1ch")
+}
+
+func BenchmarkFig6RequiredECR(b *testing.B) {
+	tables := run(b, "fig6")
+	b.ReportMetric(float64(len(tables[0].Rows)), "resolutions")
+}
+
+func BenchmarkFig7AntennaScaling(b *testing.B) {
+	tables := run(b, "fig7")
+	if len(tables) != 2 {
+		b.Fatal("fig7 should produce power and dish panels")
+	}
+}
+
+func BenchmarkFig8SatellitePower(b *testing.B) {
+	tables := run(b, "fig8")
+	if len(tables) != 4 {
+		b.Fatal("fig8 sweeps 4 early-discard rates")
+	}
+}
+
+func BenchmarkFig9SuDCCount(b *testing.B) {
+	tables := run(b, "fig9")
+	// Headline: PS at 10 cm / 0% — the worst cell.
+	var worst float64
+	for _, row := range tables[0].Rows {
+		for _, c := range row[1:] {
+			if v := cellInt(b, c); v > worst {
+				worst = v
+			}
+		}
+	}
+	b.ReportMetric(worst, "worst-case-SµDCs")
+}
+
+func BenchmarkFig11ISLBottleneck(b *testing.B) {
+	tables := run(b, "fig11")
+	if len(tables) != 2 {
+		b.Fatal("fig11 has 4 kW and 256 kW panels")
+	}
+	// Count bottlenecked cells in the 256 kW panel.
+	bottlenecked := 0.0
+	for _, row := range tables[1].Rows {
+		for _, c := range row[2:] {
+			if strings.HasSuffix(c, "*") {
+				bottlenecked++
+			}
+		}
+	}
+	b.ReportMetric(bottlenecked, "bottlenecked-cells-256kW")
+}
+
+func BenchmarkFig13KListSplitting(b *testing.B) {
+	tables := run(b, "fig13")
+	if len(tables) != 2 {
+		b.Fatal("fig13 has frame-spaced and orbit-spaced panels")
+	}
+}
+
+func BenchmarkFig14AI100(b *testing.B) {
+	tables := run(b, "fig14")
+	var worst float64
+	for _, row := range tables[0].Rows {
+		for _, c := range row[1:] {
+			if v := cellInt(b, c); v > worst {
+				worst = v
+			}
+		}
+	}
+	b.ReportMetric(worst, "worst-case-SµDCs")
+}
+
+func BenchmarkFig15GEOCoverage(b *testing.B) {
+	tables := run(b, "fig15")
+	gaps := 0.0
+	for _, row := range tables[0].Rows {
+		if row[1] != "0s" {
+			gaps++
+		}
+	}
+	b.ReportMetric(gaps, "coverage-gaps")
+}
+
+func BenchmarkFig16Hardening(b *testing.B) {
+	tables := run(b, "fig16")
+	if len(tables) != 3 {
+		b.Fatal("fig16 has software/2x/3x panels")
+	}
+}
+
+func BenchmarkTable1Constellations(b *testing.B) {
+	tables := run(b, "table1")
+	b.ReportMetric(float64(len(tables[0].Rows)), "constellations")
+}
+
+func BenchmarkTable2GroundStations(b *testing.B) {
+	tables := run(b, "table2")
+	b.ReportMetric(float64(len(tables[0].Rows)), "providers")
+}
+
+func BenchmarkTable3EarlyDiscard(b *testing.B) {
+	tables := run(b, "table3")
+	b.ReportMetric(float64(len(tables[0].Rows)), "criteria")
+}
+
+func BenchmarkTable4Compression(b *testing.B) {
+	tables := run(b, "table4")
+	// Headline: SAR Zip ratio.
+	zipCol := -1
+	for i, c := range tables[0].Columns {
+		if c == "Zip" {
+			zipCol = i
+		}
+	}
+	v, err := strconv.ParseFloat(tables[0].Rows[1][zipCol], 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(v, "SAR-zip-ratio")
+}
+
+func BenchmarkTable5Applications(b *testing.B) {
+	tables := run(b, "table5")
+	b.ReportMetric(float64(len(tables[0].Rows)), "applications")
+}
+
+func BenchmarkTable6DevicePerf(b *testing.B) {
+	tables := run(b, "table6")
+	b.ReportMetric(float64(len(tables[0].Rows)), "operating-points")
+}
+
+func BenchmarkTable7SatelliteClasses(b *testing.B) {
+	tables := run(b, "table7")
+	b.ReportMetric(float64(len(tables[0].Rows)), "classes")
+}
+
+func BenchmarkTable8ISLSupport(b *testing.B) {
+	tables := run(b, "table8")
+	// Headline cell: 3 m / 0 ED / 1 Gb/s (the paper's 9).
+	b.ReportMetric(cellInt(b, tables[0].Rows[0][2]), "sats@3m/0ED/1G")
+}
+
+func BenchmarkTable9Strategies(b *testing.B) {
+	tables := run(b, "table9")
+	b.ReportMetric(float64(len(tables[0].Columns)-1), "strategies")
+}
+
+// --- Extension benches: the §8-9 design space beyond the paper's
+// figures (SAA pauses, lifetime/boosting, thermal, power, disaggregation,
+// scheduling, revisit sizing). ---
+
+func BenchmarkExtSAA(b *testing.B) {
+	tables := run(b, "ext-saa")
+	b.ReportMetric(float64(len(tables[0].Rows)), "orbits")
+}
+
+func BenchmarkExtLifetime(b *testing.B) {
+	tables := run(b, "ext-lifetime")
+	b.ReportMetric(float64(len(tables[0].Rows)), "placements")
+}
+
+func BenchmarkExtThermal(b *testing.B) {
+	tables := run(b, "ext-thermal")
+	b.ReportMetric(float64(len(tables[0].Rows)), "designs")
+}
+
+func BenchmarkExtPower(b *testing.B) {
+	tables := run(b, "ext-power")
+	b.ReportMetric(float64(len(tables[0].Rows)), "placements")
+}
+
+func BenchmarkExtDisaggregation(b *testing.B) {
+	tables := run(b, "ext-disagg")
+	b.ReportMetric(float64(len(tables[0].Rows)), "missions")
+}
+
+func BenchmarkExtScheduler(b *testing.B) {
+	tables := run(b, "ext-sched")
+	// Headline: J/frame at the calibrated optimal batch (row 3).
+	v, err := strconv.ParseFloat(tables[0].Rows[2][4], 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(v, "J/frame@b*")
+}
+
+func BenchmarkExtFleet(b *testing.B) {
+	tables := run(b, "ext-fleet")
+	b.ReportMetric(float64(len(tables[0].Rows)), "scenarios")
+}
+
+func BenchmarkExtLatency(b *testing.B) {
+	tables := run(b, "ext-latency")
+	// Headline: the 3 m speedup factor.
+	s := strings.TrimSuffix(tables[0].Rows[0][4], "×")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(v, "speedup@3m")
+}
+
+func BenchmarkExtRevisit(b *testing.B) {
+	tables := run(b, "ext-revisit")
+	last := tables[0].Rows[len(tables[0].Rows)-1]
+	b.ReportMetric(cellInt(b, last[1]), "sats@10min")
+}
+
+func BenchmarkExtLossy(b *testing.B) {
+	tables := run(b, "ext-lossy")
+	// Headline: the best ratio in the sweep (last row).
+	last := tables[0].Rows[len(tables[0].Rows)-1]
+	v, err := strconv.ParseFloat(last[1], 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(v, "best-lossy-ratio")
+}
+
+func BenchmarkExtDetect(b *testing.B) {
+	tables := run(b, "ext-detect")
+	b.ReportMetric(float64(len(tables[0].Rows)), "scenes")
+}
+
+// --- Ablation benches: the design choices DESIGN.md calls out. ---
+
+// BenchmarkAblationDeviceSweep sizes the same workload across every
+// catalog device: the §9 architecture question.
+func BenchmarkAblationDeviceSweep(b *testing.B) {
+	for _, dev := range gpusim.Catalog() {
+		dev := dev
+		b.Run(strings.ReplaceAll(dev.Name, " ", "-"), func(b *testing.B) {
+			s := experiments.SuDCForDevice(dev)
+			var n int
+			var err error
+			for i := 0; i < b.N; i++ {
+				n, err = experiments.SuDCsAt(apps.FloodDetection, s, 0.3, 0.5)
+				if err != nil {
+					b.Skip("unsupported on this device:", err)
+				}
+			}
+			b.ReportMetric(float64(n), "SµDCs@30cm/50%")
+		})
+	}
+}
+
+// BenchmarkAblationHardeningSweep isolates the hardening-overhead design
+// choice at a fine-resolution operating point.
+func BenchmarkAblationHardeningSweep(b *testing.B) {
+	for _, h := range core.Hardenings() {
+		h := h
+		b.Run(strings.ReplaceAll(h.String(), " ", "-"), func(b *testing.B) {
+			s := core.Default4kW()
+			s.Hardening = h
+			var n int
+			var err error
+			for i := 0; i < b.N; i++ {
+				n, err = experiments.SuDCsAt(apps.UrbanEmergency, s, 0.3, 0.5)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(n), "SµDCs@30cm/50%")
+		})
+	}
+}
+
+// BenchmarkAblationBatchSize shows why the paper picks the
+// energy-efficiency-optimal batch: efficiency at fractions/multiples of b*.
+func BenchmarkAblationBatchSize(b *testing.B) {
+	model, err := gpusim.NewModel(apps.FloodDetection, gpusim.RTX3090)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bStar := model.Calibration().BatchStar
+	for _, mult := range []float64{0.25, 0.5, 1, 2, 4} {
+		mult := mult
+		b.Run("x"+strconv.FormatFloat(mult, 'g', -1, 64), func(b *testing.B) {
+			var eff float64
+			for i := 0; i < b.N; i++ {
+				eff = model.EnergyEfficiency(bStar * mult)
+			}
+			b.ReportMetric(eff, "kpixel/s/W")
+		})
+	}
+}

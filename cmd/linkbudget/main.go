@@ -1,0 +1,114 @@
+// Command linkbudget computes RF link budgets and optical ISL transmit
+// power for satellite communication design.
+//
+// Usage:
+//
+//	linkbudget rf -power 5 -dish 5 -dist 600 -freq 8.2
+//	linkbudget isl -tech optical10g -dist 680
+//	linkbudget scale -target 1e9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spacedc/internal/isl"
+	"spacedc/internal/rf"
+	"spacedc/internal/units"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "rf":
+		runRF(os.Args[2:])
+	case "isl":
+		runISL(os.Args[2:])
+	case "scale":
+		runScale(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  linkbudget rf    -power W -txgain dBi -dish m -dist km -freq GHz -bw MHz -noise K
+  linkbudget isl   -tech rf|optical10g|optical100g -dist km
+  linkbudget scale -target bit/s`)
+	os.Exit(2)
+}
+
+// runRF evaluates a full downlink budget.
+func runRF(args []string) {
+	fs := flag.NewFlagSet("rf", flag.ExitOnError)
+	power := fs.Float64("power", 5, "transmit power, W")
+	txGain := fs.Float64("txgain", 6, "transmit antenna gain, dBi")
+	dish := fs.Float64("dish", 5, "ground dish diameter, m")
+	dist := fs.Float64("dist", 600, "slant range, km")
+	freq := fs.Float64("freq", 8.2, "carrier frequency, GHz")
+	bw := fs.Float64("bw", 96, "bandwidth, MHz")
+	noise := fs.Float64("noise", 290, "system noise temperature, K")
+	_ = fs.Parse(args)
+
+	f := units.Frequency(*freq * 1e9)
+	lb := rf.LinkBudget{
+		TxPower:    units.Power(*power),
+		TxGain:     rf.FromDB(*txGain),
+		RxGain:     rf.ParabolicGain(*dish, f, 0.6),
+		Frequency:  f,
+		DistanceM:  *dist * 1e3,
+		NoiseTempK: *noise,
+		Bandwidth:  units.Frequency(*bw * 1e6),
+		Efficiency: rf.DoveEfficiency(),
+	}
+	if err := lb.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "linkbudget:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("rx gain:        %.1f dBi\n", rf.DB(lb.RxGain))
+	fmt.Printf("path loss:      %.1f dB\n", rf.DB(rf.FreeSpacePathLoss(lb.DistanceM, lb.Frequency)))
+	fmt.Printf("received power: %.1f dBW\n", rf.DB(float64(lb.ReceivedPower())))
+	fmt.Printf("SNR:            %.1f dB (%.1f linear)\n", rf.DB(lb.SNR()), lb.SNR())
+	fmt.Printf("capacity:       %v\n", lb.Capacity())
+}
+
+// runISL reports optical/RF ISL transmit power vs distance.
+func runISL(args []string) {
+	fs := flag.NewFlagSet("isl", flag.ExitOnError)
+	techName := fs.String("tech", "optical10g", "rf | optical10g | optical100g")
+	dist := fs.Float64("dist", 680, "link distance, km")
+	_ = fs.Parse(args)
+
+	var tech isl.LinkTech
+	switch *techName {
+	case "rf":
+		tech = isl.RFKaBand
+	case "optical10g":
+		tech = isl.Optical10G
+	case "optical100g":
+		tech = isl.Optical100G
+	default:
+		usage()
+	}
+	fmt.Printf("%s: capacity %v\n", tech.Name, tech.Capacity)
+	fmt.Printf("pointing time:  %.1f s\n", tech.PointingSeconds)
+	fmt.Printf("tx power @ %.0f km: %v (∝ distance²)\n", *dist, tech.TxPowerAt(*dist))
+}
+
+// runScale answers Fig 7's question: what does it take to reach a target
+// capacity by scaling the Dove baseline channel?
+func runScale(args []string) {
+	fs := flag.NewFlagSet("scale", flag.ExitOnError)
+	target := fs.Float64("target", 1e9, "target capacity, bit/s")
+	_ = fs.Parse(args)
+
+	sc := rf.DefaultScaledChannel()
+	c := units.DataRate(*target)
+	fmt.Printf("target capacity: %v over the regulated 96 MHz X-band channel\n", c)
+	fmt.Printf("transmit power needed: %v (baseline %v)\n", sc.PowerForCapacity(c), sc.BasePower)
+	fmt.Printf("dish diameter needed:  %.1f m (baseline %.1f m)\n", sc.DishForCapacity(c), sc.BaseDishM)
+}

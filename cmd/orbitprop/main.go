@@ -1,0 +1,114 @@
+// Command orbitprop propagates a satellite orbit and reports ground track,
+// eclipse, and ground-station contact information.
+//
+// Usage:
+//
+//	orbitprop -alt 550 -inc 53 -hours 24            # circular LEO
+//	orbitprop -tle satellite.tle -hours 24           # SGP4 from a TLE file
+//	orbitprop -alt 550 -inc 97.6 -station 78.2,15.4  # contact windows
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"spacedc/internal/orbit"
+)
+
+func main() {
+	alt := flag.Float64("alt", 550, "circular orbit altitude, km")
+	inc := flag.Float64("inc", 53, "inclination, degrees")
+	hours := flag.Float64("hours", 24, "propagation span, hours")
+	stepMin := flag.Float64("step", 10, "ground-track output step, minutes")
+	tleFile := flag.String("tle", "", "TLE file (overrides -alt/-inc, uses SGP4)")
+	station := flag.String("station", "", "ground station lat,lon in degrees for contact windows")
+	epochStr := flag.String("epoch", "2026-03-20T00:00:00Z", "propagation start (RFC 3339)")
+	flag.Parse()
+
+	epoch, err := time.Parse(time.RFC3339, *epochStr)
+	if err != nil {
+		fatal(fmt.Errorf("bad -epoch: %w", err))
+	}
+
+	var prop orbit.Propagator
+	var period time.Duration
+	if *tleFile != "" {
+		raw, err := os.ReadFile(*tleFile)
+		if err != nil {
+			fatal(err)
+		}
+		tle, err := orbit.ParseTLE(string(raw))
+		if err != nil {
+			fatal(err)
+		}
+		sgp4, err := orbit.NewSGP4(tle)
+		if err != nil {
+			fatal(err)
+		}
+		prop = sgp4
+		period = tle.Elements().Period()
+		epoch = tle.Epoch
+		fmt.Printf("satellite %s (TLE epoch %s)\n", tle.NoradID, tle.Epoch.Format(time.RFC3339))
+	} else {
+		el := orbit.CircularLEO(*alt, *inc*math.Pi/180, 0, 0, epoch)
+		prop = orbit.J2Propagator{Elements: el}
+		period = el.Period()
+		fmt.Printf("circular orbit: %.0f km, %.1f° inclination, period %s\n",
+			*alt, *inc, period.Round(time.Second))
+	}
+
+	span := time.Duration(*hours * float64(time.Hour))
+	step := time.Duration(*stepMin * float64(time.Minute))
+
+	fmt.Println("\nground track:")
+	points, err := orbit.GroundTrack(prop, epoch, span, step)
+	if err != nil {
+		fatal(err)
+	}
+	for _, p := range points {
+		shadow := ""
+		s, err := prop.State(p.Time)
+		if err == nil && orbit.Shadow(s.Position, p.Time) != orbit.Sunlit {
+			shadow = "  (eclipse)"
+		}
+		fmt.Printf("  %s  lat %7.2f°  lon %8.2f°  alt %7.1f km%s\n",
+			p.Time.Format("15:04:05"), p.LatDeg(), p.LonDeg(), p.AltKm, shadow)
+	}
+
+	if *station != "" {
+		parts := strings.Split(*station, ",")
+		if len(parts) != 2 {
+			fatal(fmt.Errorf("bad -station %q, want lat,lon", *station))
+		}
+		lat, err1 := strconv.ParseFloat(parts[0], 64)
+		lon, err2 := strconv.ParseFloat(parts[1], 64)
+		if err1 != nil || err2 != nil {
+			fatal(fmt.Errorf("bad -station coordinates %q", *station))
+		}
+		site := orbit.Geodetic{LatRad: lat * math.Pi / 180, LonRad: lon * math.Pi / 180}
+		windows, err := orbit.FindWindows(
+			orbit.GroundStationVisibility(prop, site, 5*math.Pi/180),
+			epoch, span, 30*time.Second, time.Second)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\ncontacts above 5° elevation at (%.1f°, %.1f°): %d passes\n", lat, lon, len(windows))
+		var total time.Duration
+		for _, w := range windows {
+			fmt.Printf("  %s → %s  (%s)\n",
+				w.Start.Format("15:04:05"), w.End.Format("15:04:05"), w.Duration().Round(time.Second))
+			total += w.Duration()
+		}
+		fmt.Printf("total contact: %s over %v\n", total.Round(time.Second), span)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "orbitprop:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,76 @@
+// Command sudcsim regenerates the tables and figures of the Space
+// Microdatacenters study.
+//
+// Usage:
+//
+//	sudcsim list             # list experiment IDs
+//	sudcsim fig9             # run one experiment, print its tables
+//	sudcsim all              # run every experiment
+//	sudcsim -csv fig9        # emit CSV instead of aligned text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spacedc/internal/experiments"
+	"spacedc/internal/report"
+)
+
+func main() {
+	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: sudcsim [-csv] <experiment-id>|all|list\n\nexperiments:\n")
+		for _, id := range experiments.IDs() {
+			fmt.Fprintf(os.Stderr, "  %s\n", id)
+		}
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	arg := flag.Arg(0)
+	switch arg {
+	case "list":
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	case "all":
+		tables, err := experiments.RunAll()
+		if err != nil {
+			fatal(err)
+		}
+		emit(tables, *csvOut)
+	default:
+		tables, err := experiments.Run(arg)
+		if err != nil {
+			fatal(err)
+		}
+		emit(tables, *csvOut)
+	}
+}
+
+// emit renders the tables to stdout in the selected format.
+func emit(tables []report.Table, csvOut bool) {
+	for _, t := range tables {
+		var err error
+		if csvOut {
+			fmt.Printf("# %s: %s\n", t.ID, t.Title)
+			err = t.CSV(os.Stdout)
+		} else {
+			err = t.Render(os.Stdout)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sudcsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+// Constellation design walk-through: pick an application and resolution,
+// sweep early-discard rates, and co-design the SµDC fleet and ISL topology.
+//
+// This reproduces the reasoning of the paper's §7-8 end to end: compute
+// sizing first (Fig 9), then the ISL bottleneck check (Table 8 / Fig 11),
+// then mitigation via k-lists and SµDC splitting (Fig 13), with the
+// atmospheric-grazing feasibility limit for orbit-spaced formations.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spacedc/internal/apps"
+	"spacedc/internal/core"
+	"spacedc/internal/datagen"
+	"spacedc/internal/isl"
+	"spacedc/internal/orbit"
+	"spacedc/internal/units"
+)
+
+func main() {
+	const (
+		resolution = 0.3 // 30 cm — a Pelican-class target
+		altKm      = 550
+	)
+	app := apps.OilSpill
+	mission := datagen.Mission{Frame: datagen.Default4K, Satellites: 64}
+	sudc := core.Default4kW()
+
+	fmt.Printf("designing for %s at %s with a 64-satellite constellation\n\n",
+		app, datagen.ResolutionLabel(resolution))
+
+	// Step 1: compute sizing across early-discard rates (Fig 9 column).
+	fmt.Println("step 1 — compute sizing (4 kW RTX 3090 SµDCs):")
+	for _, ed := range datagen.StandardDiscardRates {
+		w := core.Workload{App: app, Mission: mission, ResolutionM: resolution, EarlyDiscard: ed}
+		n, err := core.SuDCsNeeded(w, sudc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %2.0f%% early discard → %3d SµDCs\n", ed*100, n)
+	}
+
+	// Step 2: the ISL bottleneck at the chosen operating point.
+	const ed = 0.95
+	w := core.Workload{App: app, Mission: mission, ResolutionM: resolution, EarlyDiscard: ed}
+	perSat := mission.Frame.DataRate(resolution, ed)
+	fmt.Printf("\nstep 2 — ISL check at %.0f%% discard (per-satellite stream %v):\n", ed*100, perSat)
+	for _, cap := range isl.Table8Capacities {
+		plan, err := core.PlanClusters(w, sudc, cap, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10v ring: %2d clusters (compute needs %d) — %v\n",
+			cap, plan.Clusters, plan.ComputeSuDCs, plan.Bottleneck)
+	}
+
+	// Step 3: mitigate with k-lists and splitting on both formations.
+	fmt.Println("\nstep 3 — co-design options (10 Gbit/s optical links):")
+	for _, geom := range []struct {
+		name string
+		g    isl.PlaneGeometry
+	}{
+		{"frame-spaced", isl.FrameSpacedGeometry(altKm, 12)},
+		{"orbit-spaced", isl.OrbitSpacedGeometry(altKm, 64)},
+	} {
+		maxK := geom.g.MaxK(orbit.AtmosphereGrazeKm)
+		fmt.Printf("  %s formation (max usable k = %d):\n", geom.name, maxK)
+		for _, k := range []int{2, 4, 8} {
+			for _, split := range []int{1, 2} {
+				cd := isl.CoDesign{
+					Topology:  isl.Topology{K: k, Split: split},
+					Geometry:  geom.g,
+					Tech:      isl.Optical10G,
+					TotalSats: 64,
+				}
+				pt := cd.Fig13Point(orbit.AtmosphereGrazeKm)
+				status := "ok"
+				if !pt.Feasible {
+					status = "INFEASIBLE (atmospheric grazing)"
+				}
+				fmt.Printf("    k=%d split=%d: capacity ×%.0f, tx power ×%.0f — %s\n",
+					k, split, pt.CapacityNorm, pt.PowerNorm, status)
+			}
+		}
+	}
+
+	// Step 4: the economics.
+	cm := core.DefaultCostModel()
+	n, err := core.SuDCsNeeded(w, sudc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	downlinkPerDay := units.Money(1000 * 60 * 24) // paper: >$1000/min at fine res
+	fmt.Printf("\nstep 4 — economics: %d SµDCs cost %v; downlink at $1000/min breaks even in %.0f days\n",
+		n, cm.SuDCCapex(n), cm.BreakEvenDays(n, downlinkPerDay))
+}

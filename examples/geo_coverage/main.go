@@ -1,0 +1,92 @@
+// GEO coverage verification: place three SµDCs in geostationary orbit 120°
+// apart (the paper's Fig 15 architecture) and verify by propagation that
+// every satellite of a 64-satellite LEO constellation keeps line of sight
+// to at least one SµDC at all times, then report the link geometry the
+// LEO-GEO optical ISLs must close.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"spacedc/internal/constellation"
+	"spacedc/internal/core"
+	"spacedc/internal/isl"
+	"spacedc/internal/orbit"
+)
+
+func main() {
+	epoch := time.Date(2026, 3, 20, 0, 0, 0, 0, time.UTC)
+	star := core.NewGEOStar(0, epoch)
+	fmt.Println("SµDC placement: GEO slots at 0°, 120°, 240° east")
+
+	ring, err := constellation.Ring(constellation.RingConfig{
+		Name: "eo", Count: 64, AltKm: 550, IncRad: 97.6 * math.Pi / 180, // SSO-like
+		Spacing: constellation.OrbitSpaced, Epoch: epoch,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Verify coverage for the whole constellation over a day.
+	var els []orbit.Elements
+	for _, s := range ring.Satellites {
+		els = append(els, s.Elements)
+	}
+	fmt.Printf("verifying continuous coverage of %d LEO satellites over 24 h…\n", len(els))
+	worst, err := star.VerifyContinuousCoverage(els, epoch, 24*time.Hour, time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if worst == 0 {
+		fmt.Println("RESULT: continuous coverage — every satellite sees ≥1 SµDC at every sample")
+	} else {
+		fmt.Printf("RESULT: worst coverage gap %v — Fig 15 guarantee violated!\n", worst)
+	}
+
+	// Link geometry: LEO-GEO slant range envelope for one satellite.
+	leo := orbit.J2Propagator{Elements: els[0]}
+	geos := star.Propagators()
+	minR, maxR := math.Inf(1), 0.0
+	for dt := time.Duration(0); dt < 24*time.Hour; dt += 2 * time.Minute {
+		t := epoch.Add(dt)
+		ls, err := leo.State(t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		best := math.Inf(1)
+		for _, g := range geos {
+			gs, err := g.State(t)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !orbit.LineOfSight(ls.Position, gs.Position, orbit.AtmosphereGrazeKm) {
+				continue
+			}
+			if d := ls.Position.DistanceTo(gs.Position); d < best {
+				best = d
+			}
+		}
+		if best < minR {
+			minR = best
+		}
+		if !math.IsInf(best, 1) && best > maxR {
+			maxR = best
+		}
+	}
+	fmt.Printf("nearest-SµDC slant range: %.0f – %.0f km\n", minR, maxR)
+
+	// What that range costs an optical terminal (power ∝ distance²).
+	tech := isl.Optical10G
+	fmt.Printf("%s transmit power at that range: %v – %v\n",
+		tech.Name, tech.TxPowerAt(minR), tech.TxPowerAt(maxR))
+
+	// Eclipse advantage of GEO (§9): compare array sizing.
+	leoSuDC := core.Default4kW()
+	geoSuDC := core.Default4kW()
+	geoSuDC.Placement = core.GEO
+	fmt.Printf("solar array for 4 kW SµDC: LEO %v vs GEO %v\n",
+		leoSuDC.SolarArrayPower(), geoSuDC.SolarArrayPower())
+}

@@ -1,0 +1,101 @@
+// Mission planner: the whole library in one run. Plans three contrasting
+// SµDC-backed missions end to end — fleet sizing from the revisit goal,
+// compute and ISL co-design, radiation posture, thermal/power/boost
+// budgets, and economics — then simulates a slice of the winning design's
+// day: synthetic frames generated, early-discarded, relayed, and processed
+// by the scheduled SµDC.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"spacedc/internal/apps"
+	"spacedc/internal/core"
+	"spacedc/internal/discard"
+	"spacedc/internal/eoimage"
+	"spacedc/internal/gpusim"
+	"spacedc/internal/mission"
+	"spacedc/internal/sched"
+)
+
+func main() {
+	specs := []struct {
+		label string
+		spec  mission.Spec
+	}{
+		{"flood watch (FD, 1 m, hourly revisit)", mission.Spec{
+			App: apps.FloodDetection, SpatialResM: 1, EarlyDiscard: 0.95,
+			RevisitTarget: time.Hour,
+		}},
+		{"urban emergencies (UED, 30 cm, 64 sats, AI 100)", mission.Spec{
+			App: apps.UrbanEmergency, SpatialResM: 0.3, EarlyDiscard: 0.5,
+			Satellites: 64, Device: gpusim.CloudAI100,
+		}},
+		{"oil spill patrol (OSM, 1 m, GEO SµDCs, 15 yr)", mission.Spec{
+			App: apps.OilSpill, SpatialResM: 1, EarlyDiscard: 0.7,
+			Satellites: 64, Placement: core.GEO, MissionYears: 15,
+		}},
+	}
+	for _, s := range specs {
+		design, err := mission.Plan(s.spec)
+		if err != nil {
+			log.Fatalf("%s: %v", s.label, err)
+		}
+		fmt.Printf("=== %s ===\n%s\n", s.label, design.Summary())
+	}
+
+	// A slice of the first mission's day, end to end.
+	fmt.Println("=== day-in-the-life slice (flood watch) ===")
+
+	// 1. On-board early discard on synthetic scenes.
+	pipeline := discard.Pipeline{Classifiers: []discard.Classifier{
+		discard.NightClassifier{}, discard.OceanClassifier{}, discard.CloudClassifier{},
+	}}
+	kinds := []eoimage.SceneKind{eoimage.Ocean, eoimage.Rural, eoimage.Urban}
+	var frames []*eoimage.Scene
+	for i := 0; i < 30; i++ {
+		scene, err := eoimage.Generate(eoimage.Config{
+			Width: 96, Height: 96, Seed: int64(i),
+			Kind:          kinds[i%len(kinds)],
+			CloudFraction: float64(i%5) * 0.2,
+			Night:         i%4 == 0,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		frames = append(frames, scene)
+	}
+	stats := pipeline.Evaluate(frames)
+	fmt.Printf("early discard: %d/%d demo frames dropped by the night/ocean/cloud classifiers "+
+		"(rate %.2f); the mission adds a flood-region-of-interest filter to reach its planned 95%%\n",
+		stats.Discarded, stats.Frames, stats.Rate())
+
+	// 2. The surviving stream through the SµDC scheduler at the planned
+	// discard rate.
+	proc, err := sched.NewDeviceProcessor(apps.FloodDetection, gpusim.RTX3090, 11) // ~4 kW of 3090s
+	if err != nil {
+		log.Fatal(err)
+	}
+	keep := 0.05 // the planned 95% early discard
+	cfg := sched.Config{
+		Satellites:     64,
+		FramePeriodSec: 1.5,
+		PixelsPerFrame: 8.85e6 * 9, // 1 m frames
+		KeepProb:       func(int, float64) float64 { return keep },
+		TargetBatch:    proc.OptimalTargetBatch(),
+		MaxWaitSec:     30,
+		DurationSec:    1800,
+		QueueLimit:     2048,
+		Seed:           7,
+	}
+	st, err := sched.Simulate(cfg, proc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SµDC pipeline (30 min): %d frames processed, %d dropped, "+
+		"mean latency %.1f s, utilization %.2f, %.0f J/frame\n",
+		st.Processed, st.Dropped, st.MeanLatencySec, st.Utilization, st.EnergyPerFrameJ())
+	fmt.Println("\ninsights downlinked; raw pixels never left orbit.")
+}

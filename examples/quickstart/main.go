@@ -1,0 +1,73 @@
+// Quickstart: size a space microdatacenter for an Earth-observation
+// constellation.
+//
+// Builds the paper's study constellation (64 EO satellites in one 550 km
+// plane), takes its flood-detection workload at 1 m resolution with 95%
+// early discard, and answers the paper's central question: how many 4 kW
+// SµDCs does it take, and do the inter-satellite links keep up?
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"spacedc/internal/apps"
+	"spacedc/internal/constellation"
+	"spacedc/internal/core"
+	"spacedc/internal/datagen"
+	"spacedc/internal/isl"
+	"spacedc/internal/units"
+)
+
+func main() {
+	epoch := time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+
+	// 1. The constellation: 64 EO satellites in a single plane.
+	ring, err := constellation.Ring(constellation.RingConfig{
+		Name: "eo", Count: 64, AltKm: 550, IncRad: 53 * math.Pi / 180,
+		Spacing: constellation.FrameSpaced, Epoch: epoch,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("constellation: %d satellites at 550 km (%s)\n",
+		ring.Size(), constellation.FrameSpaced)
+
+	// 2. The workload: flood detection at 1 m, 95% early discard.
+	mission := datagen.Mission{Frame: datagen.Default4K, Satellites: ring.Size()}
+	w := core.Workload{
+		App:          apps.FloodDetection,
+		Mission:      mission,
+		ResolutionM:  1,
+		EarlyDiscard: 0.95,
+	}
+	fmt.Printf("workload: %s at 1 m, 95%% early discard → %.3g pixels/s, %v\n",
+		w.App, w.PixelRate(), mission.ConstellationRate(1, 0.95))
+
+	// 3. The SµDC: the paper's 4 kW RTX 3090 baseline.
+	sudc := core.Default4kW()
+	n, err := core.SuDCsNeeded(w, sudc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compute: %d × %s (%v compute, %v total, %v solar array)\n",
+		n, sudc.Name, sudc.ComputeBudget, sudc.TotalPower(), sudc.SolarArrayPower())
+
+	// 4. The links: does a 10 Gbit/s optical ring keep up?
+	plan, err := core.PlanClusters(w, sudc, 10*units.Gbps, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("links: ring topology on %s → %d clusters (%v)\n",
+		isl.Optical10G.Name, plan.Clusters, plan.Bottleneck)
+
+	if plan.Clusters > n {
+		fmt.Printf("co-design: ISLs force %d clusters where compute needs %d — "+
+			"consider a k-list or SµDC splitting (see examples/constellation_design)\n",
+			plan.Clusters, n)
+	} else {
+		fmt.Println("co-design: ISL-unconstrained — one ring does it")
+	}
+}

@@ -1,0 +1,3 @@
+module spacedc
+
+go 1.22

@@ -1,0 +1,96 @@
+package compress
+
+import "bytes"
+
+// bitWriter packs bits MSB-first into a byte buffer.
+type bitWriter struct {
+	buf  bytes.Buffer
+	cur  byte
+	nCur uint // bits used in cur
+}
+
+// writeBit appends one bit.
+func (w *bitWriter) writeBit(b uint) {
+	w.cur = w.cur<<1 | byte(b&1)
+	w.nCur++
+	if w.nCur == 8 {
+		w.buf.WriteByte(w.cur)
+		w.cur, w.nCur = 0, 0
+	}
+}
+
+// writeBits appends the low n bits of v, MSB first.
+func (w *bitWriter) writeBits(v uint64, n uint) {
+	for i := int(n) - 1; i >= 0; i-- {
+		w.writeBit(uint(v >> uint(i)))
+	}
+}
+
+// writeUnary appends q ones followed by a zero.
+func (w *bitWriter) writeUnary(q uint32) {
+	for i := uint32(0); i < q; i++ {
+		w.writeBit(1)
+	}
+	w.writeBit(0)
+}
+
+// bytes flushes the partial byte (zero-padded) and returns the stream.
+func (w *bitWriter) bytes() []byte {
+	if w.nCur > 0 {
+		w.buf.WriteByte(w.cur << (8 - w.nCur))
+		w.cur, w.nCur = 0, 0
+	}
+	return w.buf.Bytes()
+}
+
+// bitReader consumes bits MSB-first from a byte slice.
+type bitReader struct {
+	data []byte
+	pos  int  // byte index
+	bit  uint // bits consumed within data[pos]
+}
+
+// readBit returns the next bit, or an error at end of stream.
+func (r *bitReader) readBit() (uint, error) {
+	if r.pos >= len(r.data) {
+		return 0, ErrCorrupt
+	}
+	b := (r.data[r.pos] >> (7 - r.bit)) & 1
+	r.bit++
+	if r.bit == 8 {
+		r.bit = 0
+		r.pos++
+	}
+	return uint(b), nil
+}
+
+// readBits returns the next n bits as an unsigned integer.
+func (r *bitReader) readBits(n uint) (uint64, error) {
+	var v uint64
+	for i := uint(0); i < n; i++ {
+		b, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}
+
+// readUnary counts ones until the terminating zero.
+func (r *bitReader) readUnary(limit uint32) (uint32, error) {
+	var q uint32
+	for {
+		b, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 0 {
+			return q, nil
+		}
+		q++
+		if q > limit {
+			return 0, ErrCorrupt
+		}
+	}
+}

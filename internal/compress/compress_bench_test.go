@@ -1,0 +1,73 @@
+package compress
+
+import (
+	"testing"
+
+	"spacedc/internal/eoimage"
+)
+
+// benchScene generates a reusable 256×256 urban scene.
+func benchScene(b *testing.B) []byte {
+	b.Helper()
+	s, err := eoimage.Generate(eoimage.Config{
+		Width: 256, Height: 256, Seed: 1, Kind: eoimage.Urban, CloudFraction: 0.3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s.Interleaved()
+}
+
+func benchCodec(b *testing.B, c Codec) {
+	data := benchScene(b)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Compress(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompressRLE(b *testing.B) { benchCodec(b, RLE{}) }
+func BenchmarkCompressLZW(b *testing.B) { benchCodec(b, LZW{}) }
+func BenchmarkCompressZip(b *testing.B) { benchCodec(b, Zip{}) }
+func BenchmarkCompressPNG(b *testing.B) { benchCodec(b, PNG{Width: 256, Height: 256, Format: RGB8}) }
+func BenchmarkCompressCCSDS(b *testing.B) {
+	benchCodec(b, CCSDS122{Width: 256, Height: 256, Format: RGB8})
+}
+func BenchmarkCompressWavelet(b *testing.B) {
+	benchCodec(b, Wavelet{Width: 256, Height: 256, Format: RGB8})
+}
+
+func BenchmarkDWT2D(b *testing.B) {
+	const w, h = 256, 256
+	plane := make([]int32, w*h)
+	for i := range plane {
+		plane[i] = int32(i % 256)
+	}
+	work := make([]int32, len(plane))
+	b.SetBytes(int64(4 * w * h))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, plane)
+		sizes := dwt2D(work, w, h, 3)
+		idwt2D(work, w, sizes)
+	}
+}
+
+func BenchmarkRiceCode(b *testing.B) {
+	vals := make([]uint32, 64*1024)
+	for i := range vals {
+		vals[i] = uint32(i % 97)
+	}
+	b.SetBytes(int64(4 * len(vals)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var w bitWriter
+		riceEncode(&w, vals)
+		r := bitReader{data: w.bytes()}
+		if _, err := riceDecode(&r, len(vals)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package compress
+
+// Integer 5/3 (LeGall) discrete wavelet transform with lifting — the
+// reversible transform of JPEG2000 lossless and CCSDS 122.0. The forward
+// transform maps integers to integers and the inverse reconstructs them
+// exactly, so codecs built on it stay lossless.
+
+// fwd53 transforms signal x in place into [low | high] subbands, returning
+// the low-band length. Uses symmetric extension at the boundaries.
+func fwd53(x []int32) int {
+	n := len(x)
+	if n < 2 {
+		return n
+	}
+	nLow := (n + 1) / 2
+	nHigh := n / 2
+	low := make([]int32, nLow)
+	high := make([]int32, nHigh)
+
+	at := func(i int) int32 { // symmetric extension
+		if i < 0 {
+			i = -i
+		}
+		if i >= n {
+			i = 2*(n-1) - i
+		}
+		return x[i]
+	}
+
+	// Predict: d[i] = x[2i+1] - floor((x[2i] + x[2i+2]) / 2).
+	for i := 0; i < nHigh; i++ {
+		high[i] = at(2*i+1) - (at(2*i)+at(2*i+2))>>1
+	}
+	hAt := func(i int) int32 { // symmetric extension over the high band
+		if nHigh == 0 {
+			return 0
+		}
+		if i < 0 {
+			i = -i - 1
+		}
+		if i >= nHigh {
+			i = n - 2 - i // odd sample 2i+1 reflected about n-1
+		}
+		return high[i]
+	}
+	// Update: s[i] = x[2i] + floor((d[i-1] + d[i] + 2) / 4).
+	for i := 0; i < nLow; i++ {
+		low[i] = at(2*i) + (hAt(i-1)+hAt(i)+2)>>2
+	}
+
+	copy(x[:nLow], low)
+	copy(x[nLow:], high)
+	return nLow
+}
+
+// inv53 inverts fwd53 given the packed [low | high] signal.
+func inv53(x []int32) {
+	n := len(x)
+	if n < 2 {
+		return
+	}
+	nLow := (n + 1) / 2
+	nHigh := n / 2
+	low := make([]int32, nLow)
+	high := make([]int32, nHigh)
+	copy(low, x[:nLow])
+	copy(high, x[nLow:])
+
+	// Band-space symmetric extension must mirror the full-signal
+	// extension the forward pass used: high[i] holds odd sample 2i+1, so
+	// reflecting 2i+1 about n-1 gives band index n-2-i; even[i] holds
+	// sample 2i, reflecting gives n-1-i.
+	hAt := func(i int) int32 {
+		if nHigh == 0 {
+			return 0
+		}
+		if i < 0 {
+			i = -i - 1
+		}
+		if i >= nHigh {
+			i = n - 2 - i
+		}
+		return high[i]
+	}
+
+	even := make([]int32, nLow)
+	for i := 0; i < nLow; i++ {
+		even[i] = low[i] - (hAt(i-1)+hAt(i)+2)>>2
+	}
+	eAt := func(i int) int32 {
+		if i < 0 {
+			i = -i
+		}
+		if i >= nLow {
+			i = n - 1 - i
+		}
+		return even[i]
+	}
+	for i := 0; i < nLow; i++ {
+		x[2*i] = even[i]
+	}
+	for i := 0; i < nHigh; i++ {
+		x[2*i+1] = high[i] + (eAt(i)+eAt(i+1))>>1
+	}
+}
+
+// dwt2D applies `levels` of 2-D 5/3 DWT to a w×h plane in place. Each level
+// transforms the current LL quadrant's rows then columns. Returns the
+// sequence of (w, h) sizes per level for the inverse.
+func dwt2D(plane []int32, w, h, levels int) [][2]int {
+	sizes := make([][2]int, 0, levels)
+	cw, ch := w, h
+	row := make([]int32, w)
+	col := make([]int32, h)
+	for l := 0; l < levels && cw >= 2 && ch >= 2; l++ {
+		sizes = append(sizes, [2]int{cw, ch})
+		// Rows.
+		for y := 0; y < ch; y++ {
+			copy(row[:cw], plane[y*w:y*w+cw])
+			fwd53(row[:cw])
+			copy(plane[y*w:y*w+cw], row[:cw])
+		}
+		// Columns.
+		for x := 0; x < cw; x++ {
+			for y := 0; y < ch; y++ {
+				col[y] = plane[y*w+x]
+			}
+			fwd53(col[:ch])
+			for y := 0; y < ch; y++ {
+				plane[y*w+x] = col[y]
+			}
+		}
+		cw = (cw + 1) / 2
+		ch = (ch + 1) / 2
+	}
+	return sizes
+}
+
+// idwt2D inverts dwt2D given the per-level sizes it returned.
+func idwt2D(plane []int32, w int, sizes [][2]int) {
+	row := make([]int32, w)
+	var colBuf []int32
+	for l := len(sizes) - 1; l >= 0; l-- {
+		cw, ch := sizes[l][0], sizes[l][1]
+		if cap(colBuf) < ch {
+			colBuf = make([]int32, ch)
+		}
+		col := colBuf[:ch]
+		// Columns first (reverse of forward order).
+		for x := 0; x < cw; x++ {
+			for y := 0; y < ch; y++ {
+				col[y] = plane[y*w+x]
+			}
+			inv53(col)
+			for y := 0; y < ch; y++ {
+				plane[y*w+x] = col[y]
+			}
+		}
+		// Rows.
+		for y := 0; y < ch; y++ {
+			copy(row[:cw], plane[y*w:y*w+cw])
+			inv53(row[:cw])
+			copy(plane[y*w:y*w+cw], row[:cw])
+		}
+	}
+}
+
+// mapToUnsigned folds a signed value into a non-negative one for Rice
+// coding: 0, -1, 1, -2, 2 → 0, 1, 2, 3, 4.
+func mapToUnsigned(v int32) uint32 {
+	if v >= 0 {
+		return uint32(v) << 1
+	}
+	return uint32(-v)<<1 - 1
+}
+
+// mapToSigned inverts mapToUnsigned.
+func mapToSigned(u uint32) int32 {
+	if u&1 == 0 {
+		return int32(u >> 1)
+	}
+	return -int32((u + 1) >> 1)
+}

@@ -1,0 +1,114 @@
+package compress
+
+import (
+	"testing"
+
+	"spacedc/internal/eoimage"
+)
+
+func benchCube(t testing.TB, corr float64) ([]byte, CCSDS123) {
+	t.Helper()
+	cfg := eoimage.HyperspectralConfig{
+		Width: 64, Height: 64, Bands: 32, Seed: 5, BandCorrelation: corr}
+	cube, err := eoimage.GenerateHyperspectral(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cube.Bytes(), CCSDS123{Width: cfg.Width, Height: cfg.Height, Bands: cfg.Bands}
+}
+
+func TestCCSDS123RoundTrip(t *testing.T) {
+	data, codec := benchCube(t, 0.95)
+	r, err := Measure(codec, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ratio <= 1.5 {
+		t.Errorf("hyperspectral predictive coder ratio %v, want > 1.5 on correlated cube", r.Ratio)
+	}
+}
+
+func TestCCSDS123ExploitsBandCorrelation(t *testing.T) {
+	// The spectral predictor's whole point: correlated cubes compress
+	// better than decorrelated ones.
+	hi, codec := benchCube(t, 0.98)
+	lo, _ := benchCube(t, 0.1)
+	rHi, err := Measure(codec, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rLo, err := Measure(codec, lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rHi.Ratio <= rLo.Ratio {
+		t.Errorf("correlated cube (%v) should beat decorrelated (%v)", rHi.Ratio, rLo.Ratio)
+	}
+}
+
+func TestCCSDS123BeatsGenericCodersOnCubes(t *testing.T) {
+	// Versus byte-stream Deflate, the spectral predictor should win on
+	// realistic sensor statistics — the reason CCSDS-123 exists.
+	data, codec := benchCube(t, 0.97)
+	spec, err := Measure(codec, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zip, err := Measure(Zip{}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Ratio <= zip.Ratio {
+		t.Errorf("CCSDS-123 (%v) should beat Zip (%v) on a correlated cube", spec.Ratio, zip.Ratio)
+	}
+}
+
+func TestCCSDS123Validation(t *testing.T) {
+	bad := CCSDS123{Width: 0, Height: 4, Bands: 4}
+	if _, err := bad.Compress(nil); err == nil {
+		t.Error("bad geometry accepted")
+	}
+	codec := CCSDS123{Width: 4, Height: 4, Bands: 2}
+	if _, err := codec.Compress(make([]byte, 7)); err == nil {
+		t.Error("wrong-size input accepted")
+	}
+	comp, err := codec.Compress(make([]byte, 2*4*4*2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := codec.Decompress(comp[:6]); err == nil {
+		t.Error("truncated header accepted")
+	}
+	other := CCSDS123{Width: 8, Height: 8, Bands: 2}
+	if _, err := other.Decompress(comp); err == nil {
+		t.Error("geometry mismatch accepted")
+	}
+}
+
+func TestCCSDS123ConstantCube(t *testing.T) {
+	// A flat cube predicts perfectly after the first sample: huge ratio.
+	codec := CCSDS123{Width: 32, Height: 32, Bands: 8}
+	data := make([]byte, 2*32*32*8)
+	for i := 0; i < len(data); i += 2 {
+		data[i] = 0xE8
+		data[i+1] = 0x03 // 1000 everywhere
+	}
+	r, err := Measure(codec, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ratio < 10 {
+		t.Errorf("constant cube ratio = %v, want large", r.Ratio)
+	}
+}
+
+func BenchmarkCCSDS123(b *testing.B) {
+	data, codec := benchCube(b, 0.95)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.Compress(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

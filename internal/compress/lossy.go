@@ -1,0 +1,189 @@
+package compress
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+
+	"math"
+)
+
+// LossyWavelet is the quasi-lossless coder of the paper's §4 ("high
+// quality 'quasi-lossless' lossy compression results in compression
+// ratios of only 10–20×"): the same multi-level 5/3 DWT, with high-band
+// coefficients uniformly quantized before entropy coding. Quant = 1 is
+// lossless; larger steps trade PSNR for ratio.
+type LossyWavelet struct {
+	Width, Height int
+	Format        PixelFormat
+	Levels        int
+	// Quant is the uniform quantization step applied to detail
+	// coefficients (the top-level LL band stays exact). 0 means 8.
+	Quant int32
+}
+
+// Name implements the codec naming convention.
+func (LossyWavelet) Name() string { return "quasi-lossless" }
+
+// levels returns the decomposition depth.
+func (c LossyWavelet) levels() int {
+	if c.Levels == 0 {
+		return 3
+	}
+	return c.Levels
+}
+
+// quant returns the effective step.
+func (c LossyWavelet) quant() int32 {
+	if c.Quant == 0 {
+		return 8
+	}
+	return c.Quant
+}
+
+// llExtent returns the final LL band's width and height.
+func (c LossyWavelet) llExtent() (int, int) {
+	w, h := c.Width, c.Height
+	for l := 0; l < c.levels() && w >= 2 && h >= 2; l++ {
+		w = (w + 1) / 2
+		h = (h + 1) / 2
+	}
+	return w, h
+}
+
+// quantizePlane rounds detail coefficients to the step, leaving the LL
+// band exact.
+func (c LossyWavelet) quantizePlane(plane []int32) {
+	llW, llH := c.llExtent()
+	q := c.quant()
+	for y := 0; y < c.Height; y++ {
+		for x := 0; x < c.Width; x++ {
+			if x < llW && y < llH {
+				continue
+			}
+			i := y*c.Width + x
+			v := plane[i]
+			// Round-to-nearest with symmetric handling of negatives.
+			if v >= 0 {
+				plane[i] = (v + q/2) / q * q
+			} else {
+				plane[i] = -((-v + q/2) / q * q)
+			}
+		}
+	}
+}
+
+// Compress encodes with quantized detail bands.
+func (c LossyWavelet) Compress(data []byte) ([]byte, error) {
+	ps := planeSplitter{c.Width, c.Height, c.Format}
+	planes, err := ps.split(data)
+	if err != nil {
+		return nil, err
+	}
+	var raw bytes.Buffer
+	var tmp [binary.MaxVarintLen64]byte
+	for _, plane := range planes {
+		dwt2D(plane, c.Width, c.Height, c.levels())
+		c.quantizePlane(plane)
+		for _, v := range plane {
+			n := binary.PutUvarint(tmp[:], uint64(mapToUnsigned(v)))
+			raw.Write(tmp[:n])
+		}
+	}
+	out := putU32(nil, uint32(c.Width))
+	out = putU32(out, uint32(c.Height))
+	out = putU32(out, uint32(c.levels()))
+	out = putU32(out, uint32(len(planes)))
+	var comp bytes.Buffer
+	fw, err := flate.NewWriter(&comp, flate.BestCompression)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fw.Write(raw.Bytes()); err != nil {
+		return nil, err
+	}
+	if err := fw.Close(); err != nil {
+		return nil, err
+	}
+	return append(out, comp.Bytes()...), nil
+}
+
+// Decompress reconstructs the (lossy) image.
+func (c LossyWavelet) Decompress(data []byte) ([]byte, error) {
+	// The bitstream is identical in structure to the lossless Wavelet;
+	// reuse its decoder.
+	return Wavelet{Width: c.Width, Height: c.Height, Format: c.Format, Levels: c.levels()}.Decompress(data)
+}
+
+// LossyResult reports a lossy codec's rate/quality point.
+type LossyResult struct {
+	Codec           string
+	Ratio           float64
+	PSNRdB          float64
+	CompressedBytes int
+}
+
+// MeasureLossy compresses, reconstructs, and reports ratio and PSNR.
+func MeasureLossy(c LossyWavelet, data []byte) (LossyResult, error) {
+	comp, err := c.Compress(data)
+	if err != nil {
+		return LossyResult{}, err
+	}
+	back, err := c.Decompress(comp)
+	if err != nil {
+		return LossyResult{}, err
+	}
+	if len(back) != len(data) {
+		return LossyResult{}, fmt.Errorf("compress: lossy reconstruction size %d != %d", len(back), len(data))
+	}
+	psnr, err := PSNR(data, back, c.Format)
+	if err != nil {
+		return LossyResult{}, err
+	}
+	return LossyResult{
+		Codec:           c.Name(),
+		Ratio:           float64(len(data)) / float64(len(comp)),
+		PSNRdB:          psnr,
+		CompressedBytes: len(comp),
+	}, nil
+}
+
+// PSNR computes the peak signal-to-noise ratio between two sample streams
+// of the given pixel format. Identical streams return +Inf.
+func PSNR(a, b []byte, format PixelFormat) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("compress: PSNR length mismatch %d vs %d", len(a), len(b))
+	}
+	var sumSq float64
+	var n int
+	var peak float64
+	switch format {
+	case RGB8:
+		peak = 255
+		for i := range a {
+			d := float64(a[i]) - float64(b[i])
+			sumSq += d * d
+		}
+		n = len(a)
+	case Gray16:
+		peak = 65535
+		for i := 0; i+1 < len(a); i += 2 {
+			va := float64(uint16(a[i]) | uint16(a[i+1])<<8)
+			vb := float64(uint16(b[i]) | uint16(b[i+1])<<8)
+			d := va - vb
+			sumSq += d * d
+			n++
+		}
+	default:
+		return 0, fmt.Errorf("compress: unknown pixel format %d", format)
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("compress: empty PSNR input")
+	}
+	mse := sumSq / float64(n)
+	if mse == 0 {
+		return math.Inf(1), nil
+	}
+	return 10 * math.Log10(peak*peak/mse), nil
+}

@@ -1,0 +1,113 @@
+package compress
+
+import (
+	"math"
+	"testing"
+
+	"spacedc/internal/eoimage"
+)
+
+func lossyScene(t *testing.T) []byte {
+	t.Helper()
+	s, err := eoimage.Generate(eoimage.Config{
+		Width: 256, Height: 256, Seed: 21, Kind: eoimage.Urban, CloudFraction: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Interleaved()
+}
+
+func TestLossyQuantOneIsLossless(t *testing.T) {
+	data := lossyScene(t)
+	r, err := MeasureLossy(LossyWavelet{Width: 256, Height: 256, Format: RGB8, Quant: 1}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(r.PSNRdB, 1) {
+		t.Errorf("quant=1 PSNR = %v dB, want +Inf (lossless)", r.PSNRdB)
+	}
+}
+
+func TestLossyRateQualityTradeoff(t *testing.T) {
+	data := lossyScene(t)
+	prevRatio, prevPSNR := 0.0, math.Inf(1)
+	for _, q := range []int32{2, 8, 32, 128} {
+		r, err := MeasureLossy(LossyWavelet{Width: 256, Height: 256, Format: RGB8, Quant: q}, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Ratio <= prevRatio {
+			t.Errorf("quant %d: ratio %v should beat quant-smaller %v", q, r.Ratio, prevRatio)
+		}
+		if r.PSNRdB >= prevPSNR {
+			t.Errorf("quant %d: PSNR %v should trail quant-smaller %v", q, r.PSNRdB, prevPSNR)
+		}
+		prevRatio, prevPSNR = r.Ratio, r.PSNRdB
+	}
+}
+
+func TestQuasiLosslessPaperRegime(t *testing.T) {
+	// §4: quasi-lossless compression reaches only 10-20×. Find a
+	// quantizer whose quality is still high (>35 dB — visually
+	// transparent) and check its ratio lands in the paper's regime, well
+	// below required ECRs.
+	data := lossyScene(t)
+	var best LossyResult
+	for _, q := range []int32{8, 16, 24, 32, 48, 64} {
+		r, err := MeasureLossy(LossyWavelet{Width: 256, Height: 256, Format: RGB8, Quant: q}, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.PSNRdB >= 35 && r.Ratio > best.Ratio {
+			best = r
+		}
+	}
+	if best.Ratio == 0 {
+		t.Fatal("no quantizer stayed above 35 dB")
+	}
+	if best.Ratio < 4 || best.Ratio > 40 {
+		t.Errorf("quasi-lossless ratio at ≥35 dB = %v, want the paper's ~10-20× regime", best.Ratio)
+	}
+	// Even this lossy best case is orders of magnitude below the
+	// thousands-scale ECRs fine resolutions demand.
+	if best.Ratio > 100 {
+		t.Error("lossy ratio implausibly closes the ECR gap")
+	}
+}
+
+func TestPSNRValidation(t *testing.T) {
+	if _, err := PSNR([]byte{1, 2}, []byte{1}, RGB8); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := PSNR(nil, nil, RGB8); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := PSNR([]byte{1}, []byte{1}, PixelFormat(9)); err == nil {
+		t.Error("unknown format accepted")
+	}
+	// Gray16 path.
+	a := []byte{0x00, 0x10, 0x00, 0x20}
+	b := []byte{0x00, 0x10, 0x00, 0x21}
+	v, err := PSNR(a, b, Gray16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v <= 0 || math.IsInf(v, 1) {
+		t.Errorf("Gray16 PSNR = %v", v)
+	}
+}
+
+func TestLossyGray16SAR(t *testing.T) {
+	sar, err := eoimage.GenerateSAR(eoimage.SARConfig{
+		Width: 128, Height: 128, Seed: 9, ShipCount: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := MeasureLossy(LossyWavelet{Width: 128, Height: 128, Format: Gray16, Quant: 16}, sar.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ratio <= 1 || r.PSNRdB < 30 {
+		t.Errorf("SAR lossy point: ratio %v, PSNR %v", r.Ratio, r.PSNRdB)
+	}
+}

@@ -1,0 +1,67 @@
+package compress
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Result is one codec's measured performance on one input.
+type Result struct {
+	Codec            string
+	OriginalBytes    int
+	CompressedBytes  int
+	Ratio            float64
+	RoundTripChecked bool
+}
+
+// Measure compresses data with the codec, verifies a lossless round trip,
+// and returns the compression ratio.
+func Measure(c Codec, data []byte) (Result, error) {
+	comp, err := c.Compress(data)
+	if err != nil {
+		return Result{}, fmt.Errorf("compress: %s: %w", c.Name(), err)
+	}
+	back, err := c.Decompress(comp)
+	if err != nil {
+		return Result{}, fmt.Errorf("compress: %s decompress: %w", c.Name(), err)
+	}
+	if !bytes.Equal(back, data) {
+		return Result{}, fmt.Errorf("compress: %s: %w: round trip mismatch", c.Name(), ErrCorrupt)
+	}
+	r := Result{
+		Codec:            c.Name(),
+		OriginalBytes:    len(data),
+		CompressedBytes:  len(comp),
+		RoundTripChecked: true,
+	}
+	if len(comp) > 0 {
+		r.Ratio = float64(len(data)) / float64(len(comp))
+	}
+	return r, nil
+}
+
+// Suite returns the Table 4 codec set for an image of the given geometry.
+func Suite(width, height int, format PixelFormat) []Codec {
+	return []Codec{
+		Wavelet{Width: width, Height: height, Format: format},
+		LZW{},
+		Zip{},
+		RLE{},
+		PNG{Width: width, Height: height, Format: format},
+		CCSDS122{Width: width, Height: height, Format: format},
+	}
+}
+
+// MeasureSuite runs every Table 4 codec over data and returns the results
+// in suite order.
+func MeasureSuite(width, height int, format PixelFormat, data []byte) ([]Result, error) {
+	var out []Result
+	for _, c := range Suite(width, height, format) {
+		r, err := Measure(c, data)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

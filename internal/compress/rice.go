@@ -1,0 +1,120 @@
+package compress
+
+import "encoding/binary"
+
+// Rice (Golomb power-of-two) entropy coder with per-block adaptive k, the
+// entropy stage used by CCSDS lossless standards. Values are coded as
+// quotient (unary) + remainder (k bits); blocks where unary quotients would
+// explode fall back to verbatim 32-bit coding.
+
+const (
+	riceBlock      = 64 // values per adaptive block
+	riceMaxK       = 30
+	riceEscapeK    = 31 // k value marking a verbatim block
+	riceUnaryLimit = 1 << 16
+)
+
+// riceEncode writes vals to the bit stream with adaptive per-block k.
+func riceEncode(w *bitWriter, vals []uint32) {
+	for start := 0; start < len(vals); start += riceBlock {
+		end := start + riceBlock
+		if end > len(vals) {
+			end = len(vals)
+		}
+		block := vals[start:end]
+		k, cost := bestRiceK(block)
+		if cost >= 32*len(block) { // verbatim is cheaper
+			w.writeBits(uint64(riceEscapeK), 5)
+			for _, v := range block {
+				w.writeBits(uint64(v), 32)
+			}
+			continue
+		}
+		w.writeBits(uint64(k), 5)
+		for _, v := range block {
+			q := v >> k
+			w.writeUnary(q)
+			w.writeBits(uint64(v), uint(k))
+		}
+	}
+}
+
+// bestRiceK returns the k minimizing the coded size of the block and that
+// size in bits.
+func bestRiceK(block []uint32) (uint, int) {
+	bestK, bestCost := uint(0), int(^uint(0)>>1)
+	for k := uint(0); k <= riceMaxK; k++ {
+		cost := 0
+		for _, v := range block {
+			cost += int(v>>k) + 1 + int(k)
+			if cost >= bestCost {
+				break
+			}
+		}
+		if cost < bestCost {
+			bestK, bestCost = k, cost
+		}
+		// Once k exceeds log2(max), cost only grows.
+		if cost == len(block)*(int(k)+1) {
+			break
+		}
+	}
+	return bestK, bestCost
+}
+
+// riceDecode reads n values written by riceEncode.
+func riceDecode(r *bitReader, n int) ([]uint32, error) {
+	out := make([]uint32, 0, n)
+	for len(out) < n {
+		kRaw, err := r.readBits(5)
+		if err != nil {
+			return nil, err
+		}
+		k := uint(kRaw)
+		count := riceBlock
+		if remaining := n - len(out); remaining < count {
+			count = remaining
+		}
+		if k == riceEscapeK {
+			for i := 0; i < count; i++ {
+				v, err := r.readBits(32)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, uint32(v))
+			}
+			continue
+		}
+		if k > riceMaxK {
+			return nil, ErrCorrupt
+		}
+		for i := 0; i < count; i++ {
+			q, err := r.readUnary(riceUnaryLimit)
+			if err != nil {
+				return nil, err
+			}
+			rem, err := r.readBits(k)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, q<<k|uint32(rem))
+		}
+	}
+	return out, nil
+}
+
+// putU32 appends v little-endian.
+func putU32(dst []byte, v uint32) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return append(dst, b[:]...)
+}
+
+// getU32 reads a little-endian uint32 at offset, returning the value and
+// the next offset.
+func getU32(src []byte, off int) (uint32, int, error) {
+	if off+4 > len(src) {
+		return 0, 0, ErrCorrupt
+	}
+	return binary.LittleEndian.Uint32(src[off:]), off + 4, nil
+}

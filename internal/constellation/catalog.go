@@ -1,0 +1,113 @@
+package constellation
+
+// MissionProfile is one row of the paper's Table 1: a current or planned
+// LEO EO constellation with its resolution goals.
+type MissionProfile struct {
+	Company        string
+	Constellation  string
+	SatelliteCount int
+	FormFactor     string
+	Imaging        string
+	SpatialResM    float64 // finest advertised spatial resolution, meters
+	TemporalResSec float64 // revisit period, seconds; 0 means continuous
+	Goals          string
+}
+
+// Continuous marks a temporal resolution of "continuous imaging".
+const Continuous = 0.0
+
+// Table1 reproduces the paper's Table 1 inventory of LEO EO constellations.
+func Table1() []MissionProfile {
+	const (
+		minute = 60.0
+		hour   = 3600.0
+		day    = 86400.0
+	)
+	return []MissionProfile{
+		{"SatRev", "Stork", 14, "3U", "RGB+Near Infrared", 5, 6 * hour,
+			"Hosted payload missions"},
+		{"SatRev", "REC", 1024, "6U", "RGB", 0.5, 30 * minute,
+			"Insurance, land survey, precision farming, smart cities, imagery intelligence, early warning"},
+		{"Planet", "Dove", 159, "3U", "RGB+Hyperspectral", 3, 24 * hour,
+			"Daily imaging of Earth's land"},
+		{"Planet", "SkySat", 21, "100 kg", "RGB+Hyperspectral", 0.5, 24 * hour,
+			"Sub-daily high resolution imaging, stereo video up to 90 s"},
+		{"Spacety", "Spacety SAR", 56, "185 kg", "C-Band SAR", 1, 6 * hour,
+			"Real-time SAR imagery of every point on Earth"},
+		{"Chang Guang", "Jilin-1", 300, "225 kg", "Color Video, PAN, MSI", 0.75, 2.5 * day,
+			"Video 1-1.3 m, PAN 75 cm, MSI 3-4 m"},
+		{"Spacety", "ADASPACE", 192, "185 kg", "RGB, hyperspectral", 1, 24 * hour,
+			"A global, minute-level updated Earth image data network"},
+		{"Space JLTZ", "Gemini", 378, "6U", "Multispectral", 4, 10 * minute, ""},
+		{"Planet", "Pelican", 32, "150-200 kg", "RGB", 0.29, 30 * minute,
+			"Responsive, rapid, very-high resolution imagery"},
+		{"Airbus", "EarthNow", 300, "230 kg", "Color Video", 1, Continuous,
+			"Hurricane monitoring, fisheries, forest fire detection, crop health, conflict zones"},
+		{"LeoStella", "BlackSky", 18, "50 kg", "RGB Imagery", 1, 1 * hour,
+			"Hourly revisit for most major cities"},
+		{"Earth-i", "Vivid-i", 15, "100 kg", "RGB Color Video", 0.6, 12 * hour,
+			"First constellation to provide full-color video"},
+	}
+}
+
+// ResolutionMilestone is one point of the paper's Fig 2 dataset: the
+// advertised spatial resolution of an EO satellite program by launch year.
+type ResolutionMilestone struct {
+	Year       int
+	Program    string
+	ResM       float64
+	Government bool // NRO Key Hole line vs commercial/scientific
+}
+
+// Fig2Milestones is the Fig 2 dataset: spatial resolution of EO satellite
+// programs over the decades, split between the NRO Key Hole line and
+// commercial/scientific programs.
+func Fig2Milestones() []ResolutionMilestone {
+	return []ResolutionMilestone{
+		// NRO Key Hole line.
+		{1960, "KH-1 Corona", 12, true},
+		{1963, "KH-4B Corona", 1.8, true},
+		{1967, "KH-8 Gambit-3", 0.6, true},
+		{1971, "KH-9 Hexagon", 0.6, true},
+		{1976, "KH-11 Kennen", 0.15, true},
+		{1992, "KH-11 Block 3", 0.1, true},
+		{2011, "KH-11 Block 4", 0.05, true},
+		// Commercial / scientific.
+		{1972, "Landsat 1", 80, false},
+		{1982, "Landsat 4", 30, false},
+		{1986, "SPOT-1", 10, false},
+		{1999, "IKONOS", 0.8, false},
+		{2001, "QuickBird", 0.6, false},
+		{2008, "GeoEye-1", 0.41, false},
+		{2014, "WorldView-3", 0.31, false},
+		{2016, "SkySat-C", 0.72, false},
+		{2021, "Pelican (planned)", 0.29, false},
+		{2024, "Albedo (planned)", 0.1, false},
+	}
+}
+
+// DownlinkMilestone is one point of the paper's Fig 3 dataset: satellite
+// downlink capacity over time.
+type DownlinkMilestone struct {
+	Year    int
+	Program string
+	RateBps float64
+	Band    string
+}
+
+// Fig3Milestones is the Fig 3 dataset: downlink capacity growth over time,
+// limited by RF bandwidth constraints.
+func Fig3Milestones() []DownlinkMilestone {
+	return []DownlinkMilestone{
+		{1972, "Landsat 1", 15e6, "S"},
+		{1982, "Landsat 4", 85e6, "X"},
+		{1986, "SPOT-1", 50e6, "X"},
+		{1999, "Landsat 7", 150e6, "X"},
+		{1999, "IKONOS", 320e6, "X"},
+		{2008, "GeoEye-1", 740e6, "X"},
+		{2013, "Landsat 8", 384e6, "X"},
+		{2014, "WorldView-3", 1200e6, "X"},
+		{2017, "Dove (HSD)", 220e6, "X"},
+		{2022, "Ka-band demo", 3500e6, "Ka"},
+	}
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"spacedc/internal/isl"
+	"spacedc/internal/orbit"
+	"spacedc/internal/units"
+)
+
+// ClusterPlan is the Fig 11 result for one design point: how many clusters
+// (and SµDCs) the constellation needs once both compute and ISL limits are
+// honored.
+type ClusterPlan struct {
+	ComputeSuDCs int // SµDCs required by compute alone (Fig 9)
+	ISLClusters  int // clusters required by ISL capacity alone (Table 8)
+	Clusters     int // max of the two: what actually must be launched
+	Bottleneck   isl.Bottleneck
+}
+
+// PlanClusters combines the compute sizing with the ISL capacity analysis
+// for a ring or k-list topology.
+func PlanClusters(w Workload, s SuDC, linkCap units.DataRate, k int) (ClusterPlan, error) {
+	computeSuDCs, err := SuDCsNeeded(w, s)
+	if err != nil {
+		return ClusterPlan{}, err
+	}
+	perSat := w.Mission.Frame.DataRate(w.ResolutionM, w.EarlyDiscard)
+	islClusters := isl.ClustersForISL(w.Mission.Satellites, linkCap, perSat, k)
+
+	plan := ClusterPlan{
+		ComputeSuDCs: computeSuDCs,
+		ISLClusters:  islClusters,
+	}
+	plan.Clusters = computeSuDCs
+	if islClusters > plan.Clusters {
+		plan.Clusters = islClusters
+	}
+	// Bottleneck classification per §7: compare satellites-per-SµDC
+	// supported by compute (n) vs by ISLs (m).
+	n := satsPerSuDC(w, computeSuDCs)
+	m := isl.SupportableEOSats(linkCap, perSat, k)
+	plan.Bottleneck = isl.Classify(n, m)
+	return plan, nil
+}
+
+// satsPerSuDC returns how many EO satellites one SµDC's compute can serve.
+func satsPerSuDC(w Workload, computeSuDCs int) int {
+	if computeSuDCs <= 0 {
+		return w.Mission.Satellites
+	}
+	return int(math.Ceil(float64(w.Mission.Satellites) / float64(computeSuDCs)))
+}
+
+// GEOStar is the Fig 15 deployment: three SµDCs in geostationary orbit
+// 120° apart, guaranteeing every LEO EO satellite line of sight to at
+// least one at all times.
+type GEOStar struct {
+	SuDCs [3]orbit.Elements
+}
+
+// NewGEOStar places the three SµDCs starting at the given east longitude.
+func NewGEOStar(lon0Rad float64, epoch time.Time) GEOStar {
+	var g GEOStar
+	for i := 0; i < 3; i++ {
+		g.SuDCs[i] = orbit.Geostationary(lon0Rad+float64(i)*2*math.Pi/3, epoch)
+	}
+	return g
+}
+
+// Propagators returns the three SµDC propagators.
+func (g GEOStar) Propagators() []orbit.Propagator {
+	out := make([]orbit.Propagator, 3)
+	for i := range g.SuDCs {
+		out[i] = orbit.J2Propagator{Elements: g.SuDCs[i]}
+	}
+	return out
+}
+
+// CoverageGap returns the longest interval in [start, start+span] during
+// which the given LEO satellite sees none of the three SµDCs (0 = the
+// Fig 15 guarantee holds), sampling at step.
+func (g GEOStar) CoverageGap(leo orbit.Elements, start time.Time, span, step time.Duration) (time.Duration, error) {
+	cond := orbit.AnyVisible(orbit.J2Propagator{Elements: leo}, g.Propagators(), orbit.AtmosphereGrazeKm)
+	return orbit.CoverageGap(cond, start, span, step)
+}
+
+// VerifyContinuousCoverage checks the Fig 15 claim for a whole
+// constellation: every satellite must see ≥ 1 SµDC at every sample over
+// the span. It returns the worst gap found.
+func (g GEOStar) VerifyContinuousCoverage(sats []orbit.Elements, start time.Time, span, step time.Duration) (time.Duration, error) {
+	var worst time.Duration
+	for _, el := range sats {
+		gap, err := g.CoverageGap(el, start, span, step)
+		if err != nil {
+			return 0, err
+		}
+		if gap > worst {
+			worst = gap
+		}
+	}
+	return worst, nil
+}

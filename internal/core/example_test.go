@@ -1,0 +1,56 @@
+package core_test
+
+import (
+	"fmt"
+
+	"spacedc/internal/apps"
+	"spacedc/internal/core"
+	"spacedc/internal/datagen"
+	"spacedc/internal/units"
+)
+
+// Example sizes the paper's baseline scenario: how many 4 kW SµDCs does
+// flood detection need at 1 m with 95% early discard?
+func Example() {
+	w := core.Workload{
+		App:          apps.FloodDetection,
+		Mission:      datagen.Mission{Frame: datagen.Default4K, Satellites: 64},
+		ResolutionM:  1,
+		EarlyDiscard: 0.95,
+	}
+	n, err := core.SuDCsNeeded(w, core.Default4kW())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%d SµDC(s)\n", n)
+	// Output: 1 SµDC(s)
+}
+
+func ExamplePlanClusters() {
+	w := core.Workload{
+		App:          apps.TrafficMonitor,
+		Mission:      datagen.Mission{Frame: datagen.Default4K, Satellites: 64},
+		ResolutionM:  0.3,
+		EarlyDiscard: 0.5,
+	}
+	plan, err := core.PlanClusters(w, core.Default4kW(), 10*units.Gbps, 2)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("compute needs %d, links force %d clusters (%v)\n",
+		plan.ComputeSuDCs, plan.Clusters, plan.Bottleneck)
+	// Output: compute needs 2, links force 64 clusters (ISL-bottlenecked)
+}
+
+func ExampleHardening_ComputeOverhead() {
+	for _, h := range core.Hardenings() {
+		fmt.Printf("%v: %.1f×\n", h, h.ComputeOverhead())
+	}
+	// Output:
+	// none: 1.0×
+	// software (20%): 1.2×
+	// 2x redundancy: 2.0×
+	// 3x redundancy: 3.0×
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"spacedc/internal/apps"
+	"spacedc/internal/datagen"
+	"spacedc/internal/gpusim"
+	"spacedc/internal/isl"
+	"spacedc/internal/units"
+)
+
+func sudcPathFor(t *testing.T, id apps.ID) SuDCPath {
+	t.Helper()
+	m, err := gpusim.NewModel(id, gpusim.RTX3090)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return SuDCPath{
+		RelayHops:     4,
+		ISL:           isl.Optical10G,
+		HopDistanceKm: 680,
+		BatchWaitSec:  5,
+		Model:         m,
+	}
+}
+
+func TestSuDCPathBeatsGroundForUED(t *testing.T) {
+	// The §5 claim: in-space processing delivers emergency alerts far
+	// faster than waiting for a downlink pass.
+	frame := datagen.Default4K.FrameSize(1) // 1 m frame ≈ 2.9 Gbit
+	cmp, err := CompareDetectionLatency(frame, DefaultGroundPath(), sudcPathFor(t, apps.UrbanEmergency))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.SuDC >= cmp.Ground {
+		t.Fatalf("SµDC path %v should beat ground path %v", cmp.SuDC, cmp.Ground)
+	}
+	if cmp.Speedup < 10 {
+		t.Errorf("speedup = %v, want order-of-magnitude", cmp.Speedup)
+	}
+	// Ground path is dominated by contact wait (12 min) + downlink.
+	if cmp.Ground < 12*time.Minute {
+		t.Errorf("ground latency %v below the contact wait", cmp.Ground)
+	}
+	// SµDC path is sub-minute for a 1 m frame over 10G ISLs.
+	if cmp.SuDC > time.Minute {
+		t.Errorf("SµDC latency %v, want sub-minute", cmp.SuDC)
+	}
+}
+
+func TestGroundPathDominatedByDownlinkAtFineRes(t *testing.T) {
+	// At 10 cm the frame is 286 Gbit: over a 220 Mb/s channel the
+	// downlink alone takes ~22 minutes on top of the wait.
+	frame := datagen.Default4K.FrameSize(0.1)
+	g := DefaultGroundPath()
+	lat, err := g.Latency(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	downlinkOnly := time.Duration(g.DownlinkRate.Transmit(frame) * float64(time.Second))
+	if downlinkOnly < 20*time.Minute {
+		t.Errorf("10 cm downlink = %v, want > 20 min", downlinkOnly)
+	}
+	if lat <= downlinkOnly {
+		t.Error("total must include the contact wait")
+	}
+}
+
+func TestSuDCLatencyScalesWithHops(t *testing.T) {
+	frame := datagen.Default4K.FrameSize(1)
+	near := sudcPathFor(t, apps.UrbanEmergency)
+	near.RelayHops = 1
+	far := sudcPathFor(t, apps.UrbanEmergency)
+	far.RelayHops = 16
+	nl, err := near.Latency(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := far.Latency(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fl <= nl {
+		t.Errorf("16 hops (%v) should cost more than 1 (%v)", fl, nl)
+	}
+}
+
+func TestLatencyValidation(t *testing.T) {
+	frame := units.DataSize(1e9)
+	bad := DefaultGroundPath()
+	bad.DownlinkRate = 0
+	if _, err := bad.Latency(frame); err == nil {
+		t.Error("zero downlink rate accepted")
+	}
+	s := sudcPathFor(t, apps.UrbanEmergency)
+	s.ISL.Capacity = 0
+	if _, err := s.Latency(frame); err == nil {
+		t.Error("zero ISL capacity accepted")
+	}
+	s = sudcPathFor(t, apps.UrbanEmergency)
+	s.Model = nil
+	if _, err := s.Latency(frame); err == nil {
+		t.Error("missing model accepted")
+	}
+	// Zero hops clamp to one.
+	s = sudcPathFor(t, apps.UrbanEmergency)
+	s.RelayHops = 0
+	if _, err := s.Latency(frame); err != nil {
+		t.Errorf("zero hops should clamp, got %v", err)
+	}
+}
+
+func TestHeavyKernelNarrowsTheGap(t *testing.T) {
+	// PS inference takes ~8 s per batch on the 3090 — the in-orbit
+	// advantage shrinks but survives for heavy kernels.
+	frame := datagen.Default4K.FrameSize(1)
+	light, err := CompareDetectionLatency(frame, DefaultGroundPath(), sudcPathFor(t, apps.UrbanEmergency))
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := CompareDetectionLatency(frame, DefaultGroundPath(), sudcPathFor(t, apps.PanopticSeg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy.Speedup >= light.Speedup {
+		t.Errorf("heavy kernel speedup %v should trail light %v", heavy.Speedup, light.Speedup)
+	}
+	if heavy.SuDC >= heavy.Ground {
+		t.Error("even PS should beat the downlink path")
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"spacedc/internal/orbit"
+	"spacedc/internal/units"
+)
+
+// Battery sizes the energy storage that carries a SµDC through eclipse
+// (§9: LEO SµDCs eclipse every orbit; GEO only around the equinoxes).
+type Battery struct {
+	// DepthOfDischarge is the usable fraction of capacity per cycle.
+	// LEO designs stay shallow (~0.3) because they cycle 15×/day; GEO
+	// designs go deep (~0.8) over their ~90 annual cycles.
+	DepthOfDischarge float64
+	// SpecificEnergyWhKg is pack-level energy density (Li-ion ~150).
+	SpecificEnergyWhKg float64
+	// RoundTripEfficiency of charge/discharge (~0.9).
+	RoundTripEfficiency float64
+	// CycleLife is the number of cycles to end of life at the design
+	// depth of discharge.
+	CycleLife int
+}
+
+// LEOBattery is a shallow-cycling LEO pack.
+func LEOBattery() Battery {
+	return Battery{DepthOfDischarge: 0.3, SpecificEnergyWhKg: 150,
+		RoundTripEfficiency: 0.9, CycleLife: 30000}
+}
+
+// GEOBattery is a deep-cycling GEO pack.
+func GEOBattery() Battery {
+	return Battery{DepthOfDischarge: 0.8, SpecificEnergyWhKg: 150,
+		RoundTripEfficiency: 0.9, CycleLife: 2000}
+}
+
+// Validate checks the battery parameters.
+func (b Battery) Validate() error {
+	if b.DepthOfDischarge <= 0 || b.DepthOfDischarge > 1 {
+		return fmt.Errorf("core: depth of discharge %v outside (0, 1]", b.DepthOfDischarge)
+	}
+	if b.SpecificEnergyWhKg <= 0 {
+		return fmt.Errorf("core: non-positive specific energy %v", b.SpecificEnergyWhKg)
+	}
+	if b.RoundTripEfficiency <= 0 || b.RoundTripEfficiency > 1 {
+		return fmt.Errorf("core: round-trip efficiency %v outside (0, 1]", b.RoundTripEfficiency)
+	}
+	if b.CycleLife <= 0 {
+		return fmt.Errorf("core: non-positive cycle life %d", b.CycleLife)
+	}
+	return nil
+}
+
+// CapacityForEclipse returns the installed capacity needed to carry load
+// through an eclipse of the given duration.
+func (b Battery) CapacityForEclipse(load units.Power, eclipse time.Duration) (units.Energy, error) {
+	if err := b.Validate(); err != nil {
+		return 0, err
+	}
+	if eclipse < 0 {
+		return 0, fmt.Errorf("core: negative eclipse duration")
+	}
+	drawn := load.ForDuration(eclipse.Seconds())
+	installed := float64(drawn) / (b.DepthOfDischarge * b.RoundTripEfficiency)
+	return units.Energy(installed), nil
+}
+
+// MassKg returns the pack mass for an installed capacity.
+func (b Battery) MassKg(capacity units.Energy) float64 {
+	whPerKg := b.SpecificEnergyWhKg
+	if whPerKg <= 0 {
+		return math.Inf(1)
+	}
+	wh := float64(capacity) / 3600
+	return wh / whPerKg
+}
+
+// LifetimeYears returns how long the pack lasts at the given eclipse
+// cycles per year.
+func (b Battery) LifetimeYears(cyclesPerYear float64) float64 {
+	if cyclesPerYear <= 0 {
+		return math.Inf(1)
+	}
+	return float64(b.CycleLife) / cyclesPerYear
+}
+
+// EclipseCyclesPerYear estimates the annual eclipse cycle count for an
+// orbit: LEO eclipses nearly every revolution; GEO eclipses only during
+// the two ~45-day equinox seasons (≈90 cycles/year).
+func EclipseCyclesPerYear(el orbit.Elements) float64 {
+	if el.SemiMajorKm-orbit.EarthRadiusKm > 20000 {
+		return 90
+	}
+	revsPerYear := 365.25 * 86400 / el.Period().Seconds()
+	return revsPerYear
+}
+
+// PowerSystem sizes the complete electrical chain for a SµDC at a concrete
+// orbit and season.
+type PowerSystem struct {
+	Load          units.Power
+	ArrayPower    units.Power
+	BatteryCap    units.Energy
+	BatteryMassKg float64
+	BatteryYears  float64
+}
+
+// SizePowerSystem computes array and battery sizing for the SµDC at its
+// orbit using a worst-case eclipse duration for the regime.
+func SizePowerSystem(s SuDC, el orbit.Elements, epoch time.Time) (PowerSystem, error) {
+	if err := s.Validate(); err != nil {
+		return PowerSystem{}, err
+	}
+	load := s.TotalPower()
+
+	var batt Battery
+	var worstEclipse time.Duration
+	if s.Placement == GEO {
+		batt = GEOBattery()
+		worstEclipse = 72 * time.Minute // longest equinox eclipse
+	} else {
+		batt = LEOBattery()
+		// Worst LEO eclipse: the geometric maximum for the altitude.
+		frac := math.Asin(orbit.EarthRadiusKm/el.SemiMajorKm) / math.Pi
+		worstEclipse = time.Duration(frac * float64(el.Period()))
+	}
+	capa, err := batt.CapacityForEclipse(load, worstEclipse)
+	if err != nil {
+		return PowerSystem{}, err
+	}
+	return PowerSystem{
+		Load:          load,
+		ArrayPower:    s.SolarArrayPowerAt(el, epoch),
+		BatteryCap:    capa,
+		BatteryMassKg: batt.MassKg(capa),
+		BatteryYears:  batt.LifetimeYears(EclipseCyclesPerYear(el)),
+	}, nil
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math"
+
+	"spacedc/internal/units"
+)
+
+// Strategy is one column of the paper's Table 9: a way to deal with the
+// downlink deficit.
+type Strategy struct {
+	Name              string
+	ScalesToFutureRes bool // keeps working as resolution targets tighten
+	HighPower         bool // needs large power generation in orbit
+	RequiresISLs      bool
+	AdaptiveToMission bool // absorbs model/application changes post-launch
+}
+
+// Table9 returns the paper's strategy comparison.
+func Table9() []Strategy {
+	return []Strategy{
+		{Name: "SµDCs", ScalesToFutureRes: true, HighPower: true,
+			RequiresISLs: true, AdaptiveToMission: true},
+		{Name: "Homogeneous Compute", ScalesToFutureRes: true, HighPower: true,
+			RequiresISLs: false, AdaptiveToMission: false},
+		{Name: "Compression", ScalesToFutureRes: false, HighPower: false,
+			RequiresISLs: false, AdaptiveToMission: false},
+		{Name: "RF Comms", ScalesToFutureRes: false, HighPower: true,
+			RequiresISLs: false, AdaptiveToMission: false},
+	}
+}
+
+// CostModel compares recurring downlink spend against one-time SµDC launch
+// cost — the paper's argument that launching SµDCs "will invariably be
+// cheaper than paying significant recurring costs for data downlink."
+type CostModel struct {
+	// LaunchPerKg is the launch price (projected Starship-era prices run
+	// $100–1500/kg; Falcon-class today ~$2700/kg).
+	LaunchPerKg units.Money
+	// SuDCMassKg estimates the SµDC's wet mass. A 4 kW server rack plus
+	// bus, arrays, and thermal control lands in small-satellite-bus
+	// territory, ~2000 kg.
+	SuDCMassKg float64
+	// BuildCost is the non-recurring hardware cost of one SµDC.
+	BuildCost units.Money
+}
+
+// DefaultCostModel uses conservative near-term numbers.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		LaunchPerKg: 2700 * units.Dollar,
+		SuDCMassKg:  2000,
+		BuildCost:   20 * units.Million,
+	}
+}
+
+// SuDCCapex returns the up-front cost of n SµDCs.
+func (c CostModel) SuDCCapex(n int) units.Money {
+	perUnit := float64(c.BuildCost) + float64(c.LaunchPerKg)*c.SuDCMassKg
+	return units.Money(perUnit * float64(n))
+}
+
+// BreakEvenDays returns how many days of downlink spending at the given
+// daily rate pay for n SµDCs. Infinite when downlink is free.
+func (c CostModel) BreakEvenDays(n int, downlinkPerDay units.Money) float64 {
+	if downlinkPerDay <= 0 {
+		return math.Inf(1)
+	}
+	return float64(c.SuDCCapex(n)) / float64(downlinkPerDay)
+}

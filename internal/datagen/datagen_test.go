@@ -1,0 +1,179 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"spacedc/internal/units"
+)
+
+func TestDefault4KFrameRate(t *testing.T) {
+	// 4096×2160×36 bit / 1.5 s ≈ 212.3 Mbit/s per satellite at 3 m, 0 ED
+	// — the rate the paper's Table 8 counts imply.
+	r := Default4K.DataRate(3, 0)
+	want := 4096.0 * 2160 * 36 / 1.5
+	if math.Abs(float64(r)-want) > 1 {
+		t.Errorf("3 m data rate = %v, want %v", float64(r), want)
+	}
+	// One frame is ≈ 318.5 Mbit.
+	if sz := Default4K.FrameSize(3); math.Abs(float64(sz)-318.5e6) > 1e5 {
+		t.Errorf("frame size = %v bits, want ≈3.18e8", float64(sz))
+	}
+}
+
+func TestPixelsScaleQuadratically(t *testing.T) {
+	base := Default4K.PixelsPerFrame(3)
+	if got := Default4K.PixelsPerFrame(1); math.Abs(got/base-9) > 1e-9 {
+		t.Errorf("1 m frame = %v× base pixels, want 9×", got/base)
+	}
+	if got := Default4K.PixelsPerFrame(0.1); math.Abs(got/base-900) > 1e-9 {
+		t.Errorf("10 cm frame = %v× base pixels, want 900×", got/base)
+	}
+}
+
+func TestEarlyDiscardScalesLinearly(t *testing.T) {
+	f := func(edRaw float64) bool {
+		ed := math.Abs(math.Mod(edRaw, 1))
+		full := Default4K.PixelRate(1, 0)
+		got := Default4K.PixelRate(1, ed)
+		return math.Abs(got-full*(1-ed)) < 1e-6*full
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstellationRate64Sats(t *testing.T) {
+	m := Mission{Frame: Default4K, Satellites: 64}
+	r := m.ConstellationRate(3, 0)
+	want := 64 * 4096.0 * 2160 * 36 / 1.5
+	if math.Abs(float64(r)-want)/want > 1e-12 {
+		t.Errorf("constellation rate = %v, want %v", float64(r), want)
+	}
+	// Pixel rate is consistent with data rate / bpp.
+	pr := m.ConstellationPixelRate(3, 0)
+	if math.Abs(pr-float64(r)/float64(Default4K.BitsPerPixel))/pr > 1e-12 {
+		t.Error("pixel rate inconsistent with data rate")
+	}
+}
+
+func TestGlobalCoverageRateFig4a(t *testing.T) {
+	// At 3 m / 1 day: 5.1e14/9 pixels × 24 bit / 86400 s ≈ 15.7 Gbit/s.
+	r := GlobalCoverageRate(3, 86400, 24)
+	if math.Abs(float64(r)-15.74e9)/15.74e9 > 0.01 {
+		t.Errorf("3 m-1 d global rate = %v, want ≈15.7 Gbit/s", float64(r))
+	}
+	// At fine spatial resolution alone (10 cm / 30 min): hundreds of
+	// Tbit/s — the paper's "tens of Tbit/s" regime and beyond.
+	fineSpatial := GlobalCoverageRate(0.1, 1800, 24)
+	if fineSpatial < 100*units.Tbps || fineSpatial > 1000*units.Tbps {
+		t.Errorf("10 cm-30 min global rate = %v, want hundreds of Tbit/s", fineSpatial)
+	}
+	// At fine spatial AND temporal resolution (10 cm / 1 min): tens of
+	// Pbit/s, the paper's extreme.
+	fine := GlobalCoverageRate(0.1, 60, 24)
+	if fine < 10*units.Pbps || fine > 100*units.Pbps {
+		t.Errorf("10 cm-1 min global rate = %v, want tens of Pbit/s", fine)
+	}
+	// Degenerate inputs.
+	if !math.IsInf(float64(GlobalCoverageRate(0, 60, 24)), 1) {
+		t.Error("zero resolution should be infinite rate")
+	}
+}
+
+func TestChannelsNeededFig4b(t *testing.T) {
+	// 15.7 Gbit/s needs ~72 Dove channels.
+	n := ChannelsNeeded(GlobalCoverageRate(3, 86400, 24))
+	if n < 70 || n > 75 {
+		t.Errorf("channels for 3 m-1 d = %v, want ≈72", n)
+	}
+	// At fine resolution the count explodes past any ground network
+	// (Table 2 lists ~160 stations with <100 antennas each): 10 cm /
+	// 30 min → millions of channels.
+	fine := ChannelsNeeded(GlobalCoverageRate(0.1, 1800, 24))
+	if fine < 1e6 {
+		t.Errorf("channels for 10 cm-30 min = %v, want > 1e6", fine)
+	}
+	if got := ChannelsNeeded(0); got != 0 {
+		t.Errorf("zero rate needs %v channels", got)
+	}
+	if got := ChannelsNeeded(units.DataRate(1)); got != 1 {
+		t.Errorf("tiny rate should need 1 channel, got %v", got)
+	}
+}
+
+func TestRequiredECRFig6(t *testing.T) {
+	// Baseline maps to itself: ECR = 1.
+	if got := RequiredECR(3, 86400, 24); math.Abs(got-1) > 1e-12 {
+		t.Errorf("baseline ECR = %v, want 1", got)
+	}
+	// 1 m / 1 day: 9×.
+	if got := RequiredECR(1, 86400, 24); math.Abs(got-9) > 1e-9 {
+		t.Errorf("1 m-1 d ECR = %v, want 9", got)
+	}
+	// 30 cm / 30 min: 100 × 2880/... = (3/0.3)² × (86400/1800) = 100×48 = 4800.
+	if got := RequiredECR(0.3, 1800, 24); math.Abs(got-4800) > 1 {
+		t.Errorf("30 cm-30 min ECR = %v, want 4800", got)
+	}
+	// 10 cm / 30 min: 900 × 48 = 43200 — "thousands to hundreds of
+	// thousands" per the paper.
+	if got := RequiredECR(0.1, 1800, 24); math.Abs(got-43200) > 1 {
+		t.Errorf("10 cm-30 min ECR = %v, want 43200", got)
+	}
+}
+
+func TestRequiredECRBeyondAchievable(t *testing.T) {
+	// The paper's best-case combined ECR from compression and early
+	// discard is ≈400; every sub-meter sub-hour target must exceed it.
+	const bestAchievable = 400.0
+	for _, res := range []float64{0.3, 0.1} {
+		for _, temporal := range []float64{1800, 3600} {
+			if got := RequiredECR(res, temporal, 24); got <= bestAchievable {
+				t.Errorf("ECR(%v m, %v s) = %v should exceed achievable %v",
+					res, temporal, got, bestAchievable)
+			}
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Default4K.Validate(); err != nil {
+		t.Errorf("default spec invalid: %v", err)
+	}
+	bad := Default4K
+	bad.BitsPerPixel = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero bpp accepted")
+	}
+	bad = Default4K
+	bad.BaseWidthPx = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative width accepted")
+	}
+	bad = Default4K
+	bad.PeriodSec = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero period accepted")
+	}
+}
+
+func TestResolutionLabel(t *testing.T) {
+	cases := map[float64]string{3: "3 m", 1: "1 m", 0.3: "30 cm", 0.1: "10 cm"}
+	for res, want := range cases {
+		if got := ResolutionLabel(res); got != want {
+			t.Errorf("label(%v) = %q, want %q", res, got, want)
+		}
+	}
+}
+
+func TestStandardSweeps(t *testing.T) {
+	if len(StandardResolutions) != 4 || len(StandardDiscardRates) != 4 {
+		t.Error("paper sweeps 4 resolutions × 4 discard rates")
+	}
+	for i := 1; i < len(StandardResolutions); i++ {
+		if StandardResolutions[i] >= StandardResolutions[i-1] {
+			t.Error("resolutions should be finest-last")
+		}
+	}
+}

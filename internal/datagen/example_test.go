@@ -1,0 +1,33 @@
+package datagen_test
+
+import (
+	"fmt"
+
+	"spacedc/internal/datagen"
+)
+
+// Example shows the data-deluge arithmetic at the heart of the study: one
+// satellite's stream, the constellation aggregate, and the compression
+// ratio a fine-resolution target would need.
+func Example() {
+	frame := datagen.Default4K
+	fmt.Printf("per-satellite at 3 m: %v\n", frame.DataRate(3, 0))
+
+	mission := datagen.Mission{Frame: frame, Satellites: 64}
+	fmt.Printf("64-sat constellation at 30 cm: %v\n", mission.ConstellationRate(0.3, 0))
+
+	fmt.Printf("ECR needed for 10 cm / 30 min: %.0f×\n",
+		datagen.RequiredECR(0.1, 1800, frame.BitsPerPixel))
+	// Output:
+	// per-satellite at 3 m: 212.3 Mbit/s
+	// 64-sat constellation at 30 cm: 1.359 Tbit/s
+	// ECR needed for 10 cm / 30 min: 43200×
+}
+
+func ExampleChannelsNeeded() {
+	rate := datagen.GlobalCoverageRate(1, 86400, 36)
+	fmt.Printf("1 m daily coverage: %v → %.0f Dove channels\n",
+		rate, datagen.ChannelsNeeded(rate))
+	// Output:
+	// 1 m daily coverage: 212.5 Gbit/s → 967 Dove channels
+}

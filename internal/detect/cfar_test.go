@@ -1,0 +1,150 @@
+package detect
+
+import (
+	"testing"
+
+	"spacedc/internal/eoimage"
+)
+
+func scene(t *testing.T, ships int, seed int64) *eoimage.SARScene {
+	t.Helper()
+	s, err := eoimage.GenerateSAR(eoimage.SARConfig{
+		Width: 256, Height: 256, Seed: seed, ShipCount: ships, NoDataBorder: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultCFAR().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []CFAR{
+		{GuardRadius: -1, TrainRadius: 9, ThresholdFactor: 5},
+		{GuardRadius: 5, TrainRadius: 5, ThresholdFactor: 5},
+		{GuardRadius: 3, TrainRadius: 9, ThresholdFactor: 0.5},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("bad detector %d accepted", i)
+		}
+	}
+	if _, err := (CFAR{}).Detect(scene(t, 1, 1)); err == nil {
+		t.Error("zero-value detector accepted")
+	}
+}
+
+func TestDetectsSeededShips(t *testing.T) {
+	s := scene(t, 8, 2)
+	dets, err := DefaultCFAR().Detect(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) == 0 {
+		t.Fatal("no detections on a scene with 8 ships")
+	}
+	score := Evaluate(s, dets, 4)
+	if score.Recall < 0.75 {
+		t.Errorf("recall = %v (missed %d), want ≥ 0.75", score.Recall, score.MissedShips)
+	}
+	if score.Precision < 0.6 {
+		t.Errorf("precision = %v (%d false alarms), want ≥ 0.6", score.Precision, score.FalsePositives)
+	}
+}
+
+func TestEmptyOceanNoDetections(t *testing.T) {
+	s := scene(t, 0, 3)
+	dets, err := DefaultCFAR().Detect(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A CFAR on pure speckle should fire rarely at 5× threshold.
+	if len(dets) > 5 {
+		t.Errorf("%d false alarms on an empty scene", len(dets))
+	}
+	score := Evaluate(s, dets, 4)
+	if score.Recall != 1 {
+		t.Errorf("recall on shipless scene = %v, want vacuous 1", score.Recall)
+	}
+}
+
+func TestThresholdControlsFalseAlarms(t *testing.T) {
+	s := scene(t, 4, 4)
+	loose := CFAR{GuardRadius: 3, TrainRadius: 9, ThresholdFactor: 2}
+	tight := CFAR{GuardRadius: 3, TrainRadius: 9, ThresholdFactor: 8}
+	dLoose, err := loose.Detect(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dTight, err := tight.Detect(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dTight) > len(dLoose) {
+		t.Errorf("tighter threshold produced more detections (%d > %d)", len(dTight), len(dLoose))
+	}
+	sLoose := Evaluate(s, dLoose, 4)
+	sTight := Evaluate(s, dTight, 4)
+	if sTight.FalsePositives > sLoose.FalsePositives {
+		t.Errorf("tighter threshold produced more false alarms")
+	}
+}
+
+func TestDetectionsSortedByPeak(t *testing.T) {
+	s := scene(t, 6, 5)
+	dets, err := DefaultCFAR().Detect(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(dets); i++ {
+		if dets[i].Peak > dets[i-1].Peak {
+			t.Fatal("detections not sorted by peak")
+		}
+	}
+}
+
+func TestNoDataBorderIgnored(t *testing.T) {
+	// Detections must not appear in the zero-valued border.
+	s := scene(t, 6, 6)
+	dets, err := DefaultCFAR().Detect(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dets {
+		if d.X < 14 || d.X > 256-14 || d.Y < 14 || d.Y > 256-14 {
+			t.Errorf("detection at (%d, %d) in/near the no-data border", d.X, d.Y)
+		}
+	}
+}
+
+func TestDetectionPayloadTiny(t *testing.T) {
+	// The whole point of in-orbit processing: a frame is megabytes, the
+	// insight is bytes. 8 detections × ~16 bytes ≪ the 128 KiB frame.
+	s := scene(t, 8, 7)
+	dets, err := DefaultCFAR().Detect(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := len(dets) * 16
+	frame := len(s.Bytes())
+	if payload*100 > frame {
+		t.Errorf("detection payload %d B not ≪ frame %d B", payload, frame)
+	}
+}
+
+func BenchmarkCFARDetect(b *testing.B) {
+	s, err := eoimage.GenerateSAR(eoimage.SARConfig{
+		Width: 512, Height: 512, Seed: 1, ShipCount: 10, NoDataBorder: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := DefaultCFAR()
+	b.SetBytes(int64(2 * 512 * 512))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Detect(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

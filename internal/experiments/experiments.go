@@ -1,0 +1,67 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation. Each driver runs the relevant models end-to-end and
+// returns a report.Table with the same rows/series the paper reports, so
+// the experiment record (EXPERIMENTS.md), the sudcsim CLI, and the
+// benchmark harness all share one implementation.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"spacedc/internal/datagen"
+	"spacedc/internal/report"
+)
+
+// Epoch is the fixed reference epoch all orbital experiments use, chosen
+// near an equinox so eclipse geometry is representative.
+var Epoch = time.Date(2026, 3, 20, 0, 0, 0, 0, time.UTC)
+
+// Mission64 is the paper's study constellation: 64 EO satellites producing
+// the Default4K frame stream.
+var Mission64 = datagen.Mission{Frame: datagen.Default4K, Satellites: 64}
+
+// Runner produces one experiment's table(s).
+type Runner func() ([]report.Table, error)
+
+// registry maps experiment IDs to runners.
+var registry = map[string]Runner{}
+
+// register adds a runner; drivers call it from file-scope var blocks.
+func register(id string, r Runner) struct{} {
+	registry[id] = r
+	return struct{}{}
+}
+
+// IDs returns all experiment IDs in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes one experiment by ID.
+func Run(id string) ([]report.Table, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r()
+}
+
+// RunAll executes every experiment in ID order.
+func RunAll() ([]report.Table, error) {
+	var out []report.Table
+	for _, id := range IDs() {
+		tables, err := Run(id)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", id, err)
+		}
+		out = append(out, tables...)
+	}
+	return out, nil
+}

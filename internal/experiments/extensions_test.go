@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestExtSAAShape(t *testing.T) {
+	tables, err := ExtSAA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) != 3 {
+		t.Fatalf("got %d orbits", len(rows))
+	}
+	// Equatorial orbit never enters the anomaly; inclined ones do.
+	if rows[0][1] != "0.000" {
+		t.Errorf("equatorial SAA fraction = %s, want 0.000", rows[0][1])
+	}
+	iss, err := strconv.ParseFloat(rows[1][1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iss < 0.01 || iss > 0.15 {
+		t.Errorf("ISS-like SAA fraction = %v", iss)
+	}
+	// Pausing beats flat software hardening for every LEO orbit here.
+	for _, row := range rows {
+		pause, _ := strconv.ParseFloat(row[2], 64)
+		sw, _ := strconv.ParseFloat(row[3], 64)
+		if pause <= sw {
+			t.Errorf("%s: pause capacity %v should beat software %v", row[0], pause, sw)
+		}
+	}
+}
+
+func TestExtLifetimeShape(t *testing.T) {
+	tables, err := ExtLifetime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	// Boost budget decreases with altitude.
+	prev := 1e18
+	for _, row := range rows[:3] {
+		dv, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dv >= prev {
+			t.Errorf("boost budget not decreasing: %v after %v", dv, prev)
+		}
+		prev = dv
+	}
+	// GEO graveyard burn is cheap.
+	if !strings.Contains(rows[3][3], "graveyard") {
+		t.Error("GEO row should retire to graveyard")
+	}
+}
+
+func TestExtSchedTradeoffShape(t *testing.T) {
+	tables, err := ExtScheduler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) != 4 {
+		t.Fatalf("got %d batch policies", len(rows))
+	}
+	// Latency grows with batch; J/frame is minimized at the calibrated
+	// optimum (batch 16 for FD on the 3090), not at batch 1.
+	lat1, _ := strconv.ParseFloat(rows[0][2], 64)
+	lat16, _ := strconv.ParseFloat(rows[2][2], 64)
+	if lat16 <= lat1 {
+		t.Errorf("batch-16 latency %v should exceed batch-1 %v", lat16, lat1)
+	}
+	j1, _ := strconv.ParseFloat(rows[0][4], 64)
+	j16, _ := strconv.ParseFloat(rows[2][4], 64)
+	j32, _ := strconv.ParseFloat(rows[3][4], 64)
+	if j16 >= j1 {
+		t.Errorf("batch-16 J/frame %v should beat batch-1 %v", j16, j1)
+	}
+	if j32 < j16 {
+		t.Errorf("past the optimum, J/frame should rise: b32 %v vs b16 %v", j32, j16)
+	}
+}
+
+func TestExtDisaggCrossover(t *testing.T) {
+	tables, err := ExtDisaggregation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	// Short missions favor monolithic; long missions disaggregated.
+	if rows[0][3] != "monolithic" {
+		t.Errorf("3-year winner = %s", rows[0][3])
+	}
+	last := rows[len(rows)-1]
+	if last[3] != "disaggregated" {
+		t.Errorf("25-year winner = %s", last[3])
+	}
+}
+
+func TestExtRevisitMonotone(t *testing.T) {
+	tables, err := ExtRevisit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0
+	for _, row := range tables[0].Rows {
+		n, err := strconv.Atoi(row[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n < prev {
+			t.Errorf("tighter revisit needs fewer satellites? %v", tables[0].Rows)
+		}
+		prev = n
+	}
+	// The 10-minute EarthNow-style goal implies a huge fleet.
+	if prev < 100 {
+		t.Errorf("10-minute revisit needs %d satellites, want hundreds", prev)
+	}
+}
+
+func TestExtThermalAndPowerRun(t *testing.T) {
+	for _, f := range []Runner{ExtThermal, ExtPower} {
+		tables, err := f()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tb := range tables {
+			if len(tb.Rows) == 0 {
+				t.Errorf("%s produced no rows", tb.ID)
+			}
+		}
+	}
+}

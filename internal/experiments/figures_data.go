@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"fmt"
+
+	"spacedc/internal/constellation"
+	"spacedc/internal/datagen"
+	"spacedc/internal/groundstation"
+	"spacedc/internal/report"
+	"spacedc/internal/rf"
+	"spacedc/internal/units"
+)
+
+var _ = register("fig2", Fig2)
+
+// Fig2 reproduces the paper's Fig 2: EO satellite spatial resolution over
+// the decades, split between the NRO Key Hole line and commercial or
+// scientific programs.
+func Fig2() ([]report.Table, error) {
+	t := report.Table{
+		ID:      "fig2",
+		Title:   "EO satellite spatial resolution by launch year",
+		Note:    "Key Hole line vs commercial/scientific; both frontiers move toward finer resolution",
+		Columns: []string{"year", "program", "track", "resolution (m)"},
+	}
+	for _, m := range constellation.Fig2Milestones() {
+		track := "commercial/scientific"
+		if m.Government {
+			track = "NRO Key Hole"
+		}
+		t.AddRow(m.Year, m.Program, track, m.ResM)
+	}
+	return []report.Table{t}, nil
+}
+
+var _ = register("fig3", Fig3)
+
+// Fig3 reproduces Fig 3: downlink capacity growth over time, limited by RF
+// bandwidth constraints.
+func Fig3() ([]report.Table, error) {
+	t := report.Table{
+		ID:      "fig3",
+		Title:   "Satellite downlink capacity over time",
+		Note:    "≈2 orders of magnitude over 50 years — far slower than data generation growth",
+		Columns: []string{"year", "program", "band", "rate"},
+	}
+	for _, m := range constellation.Fig3Milestones() {
+		t.AddRow(m.Year, m.Program, m.Band, units.DataRate(m.RateBps).String())
+	}
+	return []report.Table{t}, nil
+}
+
+// temporalSweep is the temporal-resolution axis of Fig 4 and Fig 6.
+var temporalSweep = []struct {
+	label string
+	sec   float64
+}{
+	{"1 day", 86400},
+	{"1 hour", 3600},
+	{"30 min", 1800},
+	{"1 min", 60},
+	{"continuous (1.5 s)", 1.5},
+}
+
+var _ = register("fig4", Fig4)
+
+// Fig4 reproduces Fig 4a (global data generation rate) and Fig 4b (number
+// of concurrent Dove-like 220 Mbit/s channels needed) over the spatial ×
+// temporal resolution grid.
+func Fig4() ([]report.Table, error) {
+	bpp := datagen.Default4K.BitsPerPixel
+	rates := report.Table{
+		ID:      "fig4a",
+		Title:   "Global-coverage data generation rate",
+		Note:    fmt.Sprintf("surface area / res² × %d bit/px / temporal res", bpp),
+		Columns: []string{"spatial res"},
+	}
+	channels := report.Table{
+		ID:      "fig4b",
+		Title:   "Concurrent Dove-like 220 Mbit/s channels needed",
+		Note:    "Table 2's GSaaS networks offer ~160 stations with <100 antennas each",
+		Columns: []string{"spatial res"},
+	}
+	for _, tr := range temporalSweep {
+		rates.Columns = append(rates.Columns, tr.label)
+		channels.Columns = append(channels.Columns, tr.label)
+	}
+	for _, res := range datagen.StandardResolutions {
+		rrow := []interface{}{datagen.ResolutionLabel(res)}
+		crow := []interface{}{datagen.ResolutionLabel(res)}
+		for _, tr := range temporalSweep {
+			rate := datagen.GlobalCoverageRate(res, tr.sec, bpp)
+			rrow = append(rrow, rate.String())
+			crow = append(crow, datagen.ChannelsNeeded(rate))
+		}
+		rates.AddRow(rrow...)
+		channels.AddRow(crow...)
+	}
+	return []report.Table{rates, channels}, nil
+}
+
+var _ = register("fig5", Fig5)
+
+// Fig5 reproduces Fig 5: per-satellite downlink deficit (a) and time spent
+// downlinking per revolution (b) versus the number of 220 Mbit/s channel
+// passes available, at 95% early discard.
+func Fig5() ([]report.Table, error) {
+	pm := groundstation.DefaultPassModel()
+	if err := pm.Validate(); err != nil {
+		return nil, err
+	}
+	const earlyDiscard = 0.95
+	channelCounts := []float64{1, 2, 4, 8, 16, 32, 64}
+
+	deficit := report.Table{
+		ID:      "fig5a",
+		Title:   "Downlink deficit vs channel passes per revolution (95% early discard)",
+		Note:    "220 Mbit/s channels, ~8 min passes, 550 km revolution",
+		Columns: []string{"spatial res"},
+	}
+	times := report.Table{
+		ID:      "fig5b",
+		Title:   "Time spent downlinking per revolution (95% early discard)",
+		Note:    "minutes of transmitter-on time; cost = minutes × $3/channel",
+		Columns: []string{"spatial res"},
+	}
+	for _, n := range channelCounts {
+		label := fmt.Sprintf("%g ch", n)
+		deficit.Columns = append(deficit.Columns, label)
+		times.Columns = append(times.Columns, label)
+	}
+	for _, res := range datagen.StandardResolutions {
+		rate := datagen.Default4K.DataRate(res, earlyDiscard)
+		drow := []interface{}{datagen.ResolutionLabel(res)}
+		trow := []interface{}{datagen.ResolutionLabel(res)}
+		for _, n := range channelCounts {
+			b := pm.Budget(rate, n)
+			drow = append(drow, fmt.Sprintf("%.3f", b.Deficit))
+			trow = append(trow, fmt.Sprintf("%.1f min", b.DownlinkSeconds/60))
+		}
+		deficit.AddRow(drow...)
+		times.AddRow(trow...)
+	}
+	return []report.Table{deficit, times}, nil
+}
+
+var _ = register("fig6", Fig6)
+
+// Fig6 reproduces Fig 6: the effective compression ratio required to fit
+// each resolution target into a downlink sized for the 3 m / 1 day
+// baseline.
+func Fig6() ([]report.Table, error) {
+	bpp := datagen.Default4K.BitsPerPixel
+	t := report.Table{
+		ID:      "fig6",
+		Title:   "Required effective compression ratio vs (3 m, 1 day) baseline downlink",
+		Note:    "best achievable ECR from compression × early discard is ≈400 (§4)",
+		Columns: []string{"spatial res"},
+	}
+	for _, tr := range temporalSweep {
+		t.Columns = append(t.Columns, tr.label)
+	}
+	for _, res := range datagen.StandardResolutions {
+		row := []interface{}{datagen.ResolutionLabel(res)}
+		for _, tr := range temporalSweep {
+			row = append(row, datagen.RequiredECR(res, tr.sec, bpp))
+		}
+		t.AddRow(row...)
+	}
+	return []report.Table{t}, nil
+}
+
+var _ = register("fig7", Fig7)
+
+// Fig7 reproduces Fig 7: RF downlink capacity as antenna input power and
+// dish diameter scale, against the 1 m global-coverage requirement.
+func Fig7() ([]report.Table, error) {
+	sc := rf.DefaultScaledChannel()
+	oneMeterReq := datagen.GlobalCoverageRate(1, 86400, datagen.Default4K.BitsPerPixel)
+
+	power := report.Table{
+		ID:      "fig7a",
+		Title:   "Channel capacity vs antenna input power (96 MHz X-band, Dove baseline)",
+		Note:    fmt.Sprintf("1 m / 1 day global requirement: %v — even 2 kW falls far short", oneMeterReq),
+		Columns: []string{"tx power", "capacity", "fraction of 1 m requirement"},
+	}
+	for _, p := range []units.Power{5, 20, 100, 500, 2000, 10000} {
+		c := sc.CapacityAtPower(p)
+		power.AddRow(p.String(), c.String(), fmt.Sprintf("%.2e", float64(c)/float64(oneMeterReq)))
+	}
+
+	dish := report.Table{
+		ID:      "fig7b",
+		Title:   "Channel capacity vs antenna diameter (gain ∝ D²)",
+		Note:    "a 30 m dish still misses the 1 m requirement by orders of magnitude",
+		Columns: []string{"diameter", "capacity", "fraction of 1 m requirement"},
+	}
+	for _, d := range []float64{0.5, 1, 3, 10, 30, 100} {
+		c := sc.CapacityAtDish(d)
+		dish.AddRow(fmt.Sprintf("%g m", d), c.String(), fmt.Sprintf("%.2e", float64(c)/float64(oneMeterReq)))
+	}
+	return []report.Table{power, dish}, nil
+}

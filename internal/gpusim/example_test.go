@@ -1,0 +1,44 @@
+package gpusim_test
+
+import (
+	"fmt"
+
+	"spacedc/internal/apps"
+	"spacedc/internal/gpusim"
+	"spacedc/internal/units"
+)
+
+// Example builds a device model and reads off the Table 6 operating point
+// it was calibrated against.
+func Example() {
+	model, err := gpusim.NewModel(apps.FloodDetection, gpusim.RTX3090)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	b := model.OptimalBatch()
+	fmt.Printf("optimal batch %v: %.0f kpx/s/W at %v\n",
+		b, model.EnergyEfficiency(b), model.Power(b))
+	// Output: optimal batch 16: 307 kpx/s/W at 325 W
+}
+
+// ExampleModel_PixelRateForPower answers the SµDC sizing question: how
+// many pixels per second does 4 kW of RTX 3090s sustain on flood
+// detection?
+func ExampleModel_PixelRateForPower() {
+	model, err := gpusim.NewModel(apps.FloodDetection, gpusim.RTX3090)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%.3g pixels/s\n", model.PixelRateForPower(4*units.Kilowatt))
+	// Output: 1.23e+09 pixels/s
+}
+
+// ExampleVGG19Graph re-derives Table 5's ops/pixel from the network
+// structure.
+func ExampleVGG19Graph() {
+	g := gpusim.VGG19Graph()
+	fmt.Printf("VGG19: %.1f GMACs, %.0f ops/pixel\n", g.TotalMACs()/1e9, g.OpsPerPixel())
+	// Output: VGG19: 19.6 GMACs, 391264 ops/pixel
+}

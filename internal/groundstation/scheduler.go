@@ -1,0 +1,109 @@
+package groundstation
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"spacedc/internal/orbit"
+)
+
+// This file schedules satellite passes onto a station's limited antennas —
+// the physical constraint behind Table 2's capacity argument ("ultimately
+// limited by number of antennas, typically < 100"). Passes that cannot get
+// an antenna are lost downlink opportunities.
+
+// Pass is one downlink opportunity for one satellite at one station.
+type Pass struct {
+	Satellite int
+	Window    orbit.Window
+}
+
+// Schedule is the result of fitting passes to antennas.
+type Schedule struct {
+	Served   []Pass
+	Rejected []Pass
+	// AntennaBusy is the total antenna-time consumed.
+	AntennaBusy time.Duration
+}
+
+// ServedFraction returns the share of requested passes that got antennas.
+func (s Schedule) ServedFraction() float64 {
+	total := len(s.Served) + len(s.Rejected)
+	if total == 0 {
+		return 1
+	}
+	return float64(len(s.Served)) / float64(total)
+}
+
+// ScheduleAntennas assigns passes to `antennas` identical antennas using
+// the classic earliest-deadline greedy: process passes by start time and
+// give each to the antenna that frees up first; if none is free before the
+// pass starts… antennas track, so a pass is only rejected when every
+// antenna is still busy at its start. Partial passes are not served —
+// real stations need the whole arc for lock and downlink.
+func ScheduleAntennas(passes []Pass, antennas int) (Schedule, error) {
+	if antennas <= 0 {
+		return Schedule{}, fmt.Errorf("groundstation: non-positive antenna count %d", antennas)
+	}
+	sorted := make([]Pass, len(passes))
+	copy(sorted, passes)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].Window.Start.Before(sorted[j].Window.Start)
+	})
+
+	// freeAt[i] is when antenna i becomes available.
+	freeAt := make([]time.Time, antennas)
+	var out Schedule
+	for _, p := range sorted {
+		// Find the antenna that frees earliest.
+		best := 0
+		for i := 1; i < antennas; i++ {
+			if freeAt[i].Before(freeAt[best]) {
+				best = i
+			}
+		}
+		if freeAt[best].After(p.Window.Start) {
+			out.Rejected = append(out.Rejected, p)
+			continue
+		}
+		freeAt[best] = p.Window.End
+		out.Served = append(out.Served, p)
+		out.AntennaBusy += p.Window.Duration()
+	}
+	return out, nil
+}
+
+// ComputePasses finds all passes of the satellites over a single station
+// during the span.
+func ComputePasses(sats []orbit.Propagator, site orbit.Geodetic, minElevRad float64,
+	start time.Time, span time.Duration) ([]Pass, error) {
+	var out []Pass
+	for i, sat := range sats {
+		windows, err := orbit.FindWindows(
+			orbit.GroundStationVisibility(sat, site, minElevRad),
+			start, span, 30*time.Second, time.Second)
+		if err != nil {
+			return nil, err
+		}
+		for _, w := range windows {
+			out = append(out, Pass{Satellite: i, Window: w})
+		}
+	}
+	return out, nil
+}
+
+// AntennasForFullService returns the smallest antenna count that serves
+// every pass, up to the search limit.
+func AntennasForFullService(passes []Pass, limit int) (int, error) {
+	for n := 1; n <= limit; n++ {
+		s, err := ScheduleAntennas(passes, n)
+		if err != nil {
+			return 0, err
+		}
+		if len(s.Rejected) == 0 {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("groundstation: more than %d antennas needed", limit)
+}

@@ -1,0 +1,120 @@
+package groundstation
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"spacedc/internal/orbit"
+)
+
+var schedEpoch = time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+
+// passAt builds a pass from start-minute to end-minute.
+func passAt(sat, startMin, endMin int) Pass {
+	return Pass{Satellite: sat, Window: orbit.Window{
+		Start: schedEpoch.Add(time.Duration(startMin) * time.Minute),
+		End:   schedEpoch.Add(time.Duration(endMin) * time.Minute),
+	}}
+}
+
+func TestScheduleNonOverlapping(t *testing.T) {
+	passes := []Pass{passAt(0, 0, 8), passAt(1, 10, 18), passAt(2, 20, 28)}
+	s, err := ScheduleAntennas(passes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Served) != 3 || len(s.Rejected) != 0 {
+		t.Errorf("one antenna should serve sequential passes: %+v", s)
+	}
+	if s.AntennaBusy != 24*time.Minute {
+		t.Errorf("busy time = %v, want 24 min", s.AntennaBusy)
+	}
+	if s.ServedFraction() != 1 {
+		t.Errorf("served fraction = %v", s.ServedFraction())
+	}
+}
+
+func TestScheduleOverlappingNeedsMoreAntennas(t *testing.T) {
+	// Three simultaneous passes: one antenna serves one, three serve all.
+	passes := []Pass{passAt(0, 0, 8), passAt(1, 1, 9), passAt(2, 2, 10)}
+	one, err := ScheduleAntennas(passes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one.Served) != 1 || len(one.Rejected) != 2 {
+		t.Errorf("one antenna: %d served, %d rejected", len(one.Served), len(one.Rejected))
+	}
+	three, err := ScheduleAntennas(passes, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(three.Rejected) != 0 {
+		t.Errorf("three antennas should serve all: %+v", three.Rejected)
+	}
+	n, err := AntennasForFullService(passes, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("full service needs %d antennas, want 3", n)
+	}
+}
+
+func TestScheduleUnsortedInput(t *testing.T) {
+	passes := []Pass{passAt(2, 20, 28), passAt(0, 0, 8), passAt(1, 10, 18)}
+	s, err := ScheduleAntennas(passes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rejected) != 0 {
+		t.Error("scheduler must sort by start time")
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	if _, err := ScheduleAntennas(nil, 0); err == nil {
+		t.Error("zero antennas accepted")
+	}
+	s, err := ScheduleAntennas(nil, 2)
+	if err != nil || s.ServedFraction() != 1 {
+		t.Errorf("empty schedule: %+v err %v", s, err)
+	}
+	if _, err := AntennasForFullService([]Pass{passAt(0, 0, 5), passAt(1, 0, 5), passAt(2, 0, 5)}, 2); err == nil {
+		t.Error("limit exceeded should error")
+	}
+}
+
+func TestConstellationOverwhelmsStation(t *testing.T) {
+	// The Table 2 argument end to end: a 64-satellite constellation's
+	// passes over one polar station exceed what a 3-antenna site serves;
+	// full service needs many antennas.
+	deg := math.Pi / 180
+	var sats []orbit.Propagator
+	for i := 0; i < 16; i++ { // 16 sats in 4 planes keeps the test fast
+		el := orbit.CircularLEO(550, 97.6*deg, float64(i%4)*math.Pi/2, float64(i)*math.Pi/8, schedEpoch)
+		sats = append(sats, orbit.J2Propagator{Elements: el})
+	}
+	svalbard := orbit.Geodetic{LatRad: 78.2 * deg, LonRad: 15.4 * deg}
+	passes, err := ComputePasses(sats, svalbard, 5*deg, schedEpoch, 12*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(passes) < 30 {
+		t.Fatalf("only %d passes; polar station should see SSO sats every rev", len(passes))
+	}
+	few, err := ScheduleAntennas(passes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(few.Rejected) == 0 {
+		t.Error("2 antennas should drop passes from 16 satellites")
+	}
+	many, err := ScheduleAntennas(passes, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many.ServedFraction() <= few.ServedFraction() {
+		t.Error("more antennas must serve more passes")
+	}
+}

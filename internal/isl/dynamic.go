@@ -1,0 +1,161 @@
+package isl
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"spacedc/internal/orbit"
+)
+
+// DynamicLink models the §9 "same plane, higher altitude" SµDC placement:
+// the SµDC orbits slower than the EO satellites, so the geometry drifts
+// continuously, links come and go with the synodic cycle, and each
+// acquisition pays the terminal's pointing time — cheap for beamformed RF,
+// expensive for optical.
+type DynamicLink struct {
+	// LowAltKm is the EO constellation's altitude.
+	LowAltKm float64
+	// HighAltKm is the SµDC's altitude.
+	HighAltKm float64
+	// MaxRangeKm is the longest distance the link closes at its design
+	// power.
+	MaxRangeKm float64
+	// Tech supplies capacity and pointing time.
+	Tech LinkTech
+}
+
+// Validate checks the geometry.
+func (d DynamicLink) Validate() error {
+	if d.LowAltKm <= 0 || d.HighAltKm <= 0 {
+		return fmt.Errorf("isl: non-positive altitudes %v/%v", d.LowAltKm, d.HighAltKm)
+	}
+	if d.HighAltKm < d.LowAltKm {
+		return fmt.Errorf("isl: SµDC altitude %v below constellation %v", d.HighAltKm, d.LowAltKm)
+	}
+	if d.MaxRangeKm <= d.HighAltKm-d.LowAltKm {
+		return fmt.Errorf("isl: max range %v cannot span the radial gap %v",
+			d.MaxRangeKm, d.HighAltKm-d.LowAltKm)
+	}
+	return nil
+}
+
+// angularRate returns the circular-orbit angular rate at altKm, rad/s.
+func angularRate(altKm float64) float64 {
+	a := orbit.EarthRadiusKm + altKm
+	return math.Sqrt(orbit.EarthMuKm3S2 / (a * a * a))
+}
+
+// SynodicPeriod returns the relative-geometry repeat period: the time for
+// the faster, lower satellite to lap the SµDC. Equal altitudes (the
+// in-plane formation) never drift — the period is infinite and the
+// topology is static, which is the §7 argument for formation flight.
+func (d DynamicLink) SynodicPeriod() time.Duration {
+	dw := math.Abs(angularRate(d.LowAltKm) - angularRate(d.HighAltKm))
+	if dw == 0 {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(2 * math.Pi / dw * float64(time.Second))
+}
+
+// maxPhase returns the largest in-plane phase angle at which the link
+// still closes: separation ≤ MaxRangeKm and the sight line clears the
+// atmosphere.
+func (d DynamicLink) maxPhase() float64 {
+	r1 := orbit.EarthRadiusKm + d.LowAltKm
+	r2 := orbit.EarthRadiusKm + d.HighAltKm
+
+	// Range limit: law of cosines.
+	cosRange := (r1*r1 + r2*r2 - d.MaxRangeKm*d.MaxRangeKm) / (2 * r1 * r2)
+	phiRange := math.Acos(clamp(cosRange, -1, 1))
+
+	// Earth-grazing limit: the chord's closest approach to the geocenter
+	// must clear the graze radius. For points at radii r1, r2 separated
+	// by φ, minimum distance = r1·r2·sin(φ)/d — but only when the foot of
+	// the perpendicular falls inside the chord; below that the endpoints
+	// govern and the link is clear. Solve by bisection on φ.
+	block := orbit.EarthRadiusKm + orbit.AtmosphereGrazeKm
+	clear := func(phi float64) bool {
+		d2 := r1*r1 + r2*r2 - 2*r1*r2*math.Cos(phi)
+		dd := math.Sqrt(d2)
+		if dd == 0 {
+			return true
+		}
+		h := r1 * r2 * math.Sin(phi) / dd
+		// Perpendicular foot inside the segment only when both endpoint
+		// angles are acute; approximate: for phi < π/2 it always is not…
+		// use the exact segment test via projection parameter.
+		// Points: A = (r1, 0), B = (r2 cosφ, r2 sinφ).
+		ax, ay := r1, 0.0
+		bx, by := r2*math.Cos(phi), r2*math.Sin(phi)
+		dx, dy := bx-ax, by-ay
+		t := -(ax*dx + ay*dy) / (dx*dx + dy*dy)
+		if t <= 0 || t >= 1 {
+			return true // closest approach at an endpoint, which is in orbit
+		}
+		return h > block
+	}
+	phiGraze := phiRange
+	if !clear(phiRange) {
+		lo, hi := 0.0, phiRange
+		for i := 0; i < 60; i++ {
+			mid := (lo + hi) / 2
+			if clear(mid) {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		phiGraze = lo
+	}
+	return math.Min(phiRange, phiGraze)
+}
+
+// PassDuration returns how long each synodic cycle the link stays within
+// range: the relative phase sweeps 2π per synodic period and the link is
+// up while |phase| ≤ maxPhase.
+func (d DynamicLink) PassDuration() time.Duration {
+	if err := d.Validate(); err != nil {
+		return 0
+	}
+	syn := d.SynodicPeriod()
+	if syn == time.Duration(math.MaxInt64) {
+		return syn // static link: always up
+	}
+	frac := 2 * d.maxPhase() / (2 * math.Pi)
+	return time.Duration(float64(syn) * frac)
+}
+
+// DutyCycle returns the fraction of time the link carries data, after
+// paying the terminal's pointing time at each acquisition.
+func (d DynamicLink) DutyCycle() float64 {
+	if err := d.Validate(); err != nil {
+		return 0
+	}
+	syn := d.SynodicPeriod()
+	if syn == time.Duration(math.MaxInt64) {
+		return 1 // formation flight: point once, link forever
+	}
+	pass := d.PassDuration().Seconds() - d.Tech.PointingSeconds
+	if pass < 0 {
+		pass = 0
+	}
+	return pass / syn.Seconds()
+}
+
+// EffectiveCapacity returns the average data rate the dynamic link
+// delivers once pass gaps and pointing overhead are paid.
+func (d DynamicLink) EffectiveCapacity() float64 {
+	return float64(d.Tech.Capacity) * d.DutyCycle()
+}
+
+// clamp bounds v to [lo, hi].
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

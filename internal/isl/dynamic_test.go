@@ -1,0 +1,114 @@
+package isl
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestDynamicLinkValidate(t *testing.T) {
+	good := DynamicLink{LowAltKm: 550, HighAltKm: 800, MaxRangeKm: 2000, Tech: Optical10G}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []DynamicLink{
+		{LowAltKm: 0, HighAltKm: 800, MaxRangeKm: 2000},
+		{LowAltKm: 550, HighAltKm: 500, MaxRangeKm: 2000}, // SµDC below
+		{LowAltKm: 550, HighAltKm: 800, MaxRangeKm: 100},  // cannot span gap
+	}
+	for i, d := range bad {
+		if d.Validate() == nil {
+			t.Errorf("bad link %d accepted", i)
+		}
+	}
+}
+
+func TestSynodicPeriod(t *testing.T) {
+	// 550 vs 800 km: periods 95.6 and 100.9 min → synodic ≈ 30 h.
+	d := DynamicLink{LowAltKm: 550, HighAltKm: 800, MaxRangeKm: 2000, Tech: Optical10G}
+	syn := d.SynodicPeriod()
+	if syn < 24*time.Hour || syn > 40*time.Hour {
+		t.Errorf("synodic period = %v, want ≈30 h", syn)
+	}
+	// Same altitude: static geometry, infinite synodic period.
+	static := DynamicLink{LowAltKm: 550, HighAltKm: 550, MaxRangeKm: 2000, Tech: Optical10G}
+	if static.SynodicPeriod() != time.Duration(math.MaxInt64) {
+		t.Error("equal altitudes should never drift")
+	}
+	if static.DutyCycle() != 1 {
+		t.Error("formation flight should give a permanent link")
+	}
+	// Bigger gap → faster drift → shorter synodic period.
+	wide := DynamicLink{LowAltKm: 550, HighAltKm: 1200, MaxRangeKm: 2000, Tech: Optical10G}
+	if wide.SynodicPeriod() >= syn {
+		t.Error("larger altitude gap should drift faster")
+	}
+}
+
+func TestPassDurationShrinksWithRange(t *testing.T) {
+	long := DynamicLink{LowAltKm: 550, HighAltKm: 800, MaxRangeKm: 4000, Tech: Optical10G}
+	short := DynamicLink{LowAltKm: 550, HighAltKm: 800, MaxRangeKm: 1000, Tech: Optical10G}
+	if short.PassDuration() >= long.PassDuration() {
+		t.Errorf("shorter range (%v) should give shorter passes than longer (%v)",
+			short.PassDuration(), long.PassDuration())
+	}
+	if short.PassDuration() <= 0 {
+		t.Error("feasible link should have positive pass time")
+	}
+}
+
+func TestDutyCyclePointingPenalty(t *testing.T) {
+	// Same geometry, optical vs RF: the RF link's near-instant
+	// beamforming wastes less of each pass (§9's argument that dynamic
+	// topologies suit RF, not optical).
+	geom := DynamicLink{LowAltKm: 550, HighAltKm: 800, MaxRangeKm: 1500}
+	optical := geom
+	optical.Tech = Optical10G
+	rf := geom
+	rf.Tech = RFKaBand
+	if optical.DutyCycle() >= rf.DutyCycle() {
+		t.Errorf("optical duty %v should trail RF %v (pointing overhead)",
+			optical.DutyCycle(), rf.DutyCycle())
+	}
+	for _, d := range []DynamicLink{optical, rf} {
+		if dc := d.DutyCycle(); dc < 0 || dc > 1 {
+			t.Errorf("duty cycle %v outside [0,1]", dc)
+		}
+	}
+}
+
+func TestEffectiveCapacityBelowNominal(t *testing.T) {
+	d := DynamicLink{LowAltKm: 550, HighAltKm: 900, MaxRangeKm: 2000, Tech: Optical10G}
+	eff := d.EffectiveCapacity()
+	if eff <= 0 || eff >= float64(d.Tech.Capacity) {
+		t.Errorf("effective capacity %v should sit strictly below nominal %v", eff, float64(d.Tech.Capacity))
+	}
+	// The drifting-link capacity is a small fraction of the formation
+	// link — the quantitative reason §9 prefers in-plane SµDCs for
+	// optical ISLs.
+	if eff > 0.5*float64(d.Tech.Capacity) {
+		t.Errorf("drifting link keeps %v of nominal; expected well under half", eff/float64(d.Tech.Capacity))
+	}
+}
+
+func TestEarthGrazingLimitsPhase(t *testing.T) {
+	// With an enormous power budget the link range no longer binds — the
+	// Earth does. maxPhase must stay below the grazing geometry bound.
+	d := DynamicLink{LowAltKm: 550, HighAltKm: 560, MaxRangeKm: 50000, Tech: Optical100G}
+	phi := d.maxPhase()
+	// Two ~550 km satellites lose LOS near the 2·acos((Re+100)/r) chord
+	// bound ≈ 41°.
+	if phi > 0.8 {
+		t.Errorf("max phase %v rad should be Earth-limited to ≈0.7", phi)
+	}
+	if phi <= 0 {
+		t.Error("phase bound degenerate")
+	}
+}
+
+func TestInvalidLinksFailSafe(t *testing.T) {
+	bad := DynamicLink{LowAltKm: 550, HighAltKm: 800, MaxRangeKm: 10, Tech: Optical10G}
+	if bad.PassDuration() != 0 || bad.DutyCycle() != 0 || bad.EffectiveCapacity() != 0 {
+		t.Error("infeasible link should report zero service")
+	}
+}

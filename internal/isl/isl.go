@@ -1,0 +1,244 @@
+// Package isl models inter-satellite links and the network topologies that
+// feed space microdatacenters: RF and optical link technologies, ring
+// (2-list) and k-list chain topologies, SµDC splitting, and the capacity
+// and transmit-power accounting behind the paper's Table 8, Fig 11, and
+// Fig 13.
+package isl
+
+import (
+	"fmt"
+	"math"
+
+	"spacedc/internal/orbit"
+	"spacedc/internal/units"
+)
+
+// LinkTech describes one ISL technology.
+type LinkTech struct {
+	Name     string
+	Capacity units.DataRate
+	Optical  bool
+	// PointingSeconds is the time to (re)acquire the link. Optical
+	// terminals take seconds to minutes, which is why fixed ring/k-list
+	// topologies matter (§7).
+	PointingSeconds float64
+	// RefTxPower is the transmit power needed to close the link at
+	// RefDistanceKm. Optical ISL transmit power grows quadratically with
+	// distance (§8, Liang et al.).
+	RefTxPower    units.Power
+	RefDistanceKm float64
+}
+
+// Standard link technologies. Capacities bracket the paper's Table 8 sweep
+// (1, 10, 100 Gbit/s); RF ISLs sit at the low end, laser terminals at the
+// high end.
+var (
+	RFKaBand = LinkTech{
+		Name: "RF Ka-band ISL", Capacity: 1 * units.Gbps, Optical: false,
+		PointingSeconds: 0.1, // beamforming repoints almost instantly
+		RefTxPower:      20 * units.Watt, RefDistanceKm: 1000,
+	}
+	Optical10G = LinkTech{
+		Name: "optical 10G ISL", Capacity: 10 * units.Gbps, Optical: true,
+		PointingSeconds: 30,
+		RefTxPower:      8 * units.Watt, RefDistanceKm: 1000,
+	}
+	Optical100G = LinkTech{
+		Name: "optical 100G ISL", Capacity: 100 * units.Gbps, Optical: true,
+		PointingSeconds: 30,
+		RefTxPower:      25 * units.Watt, RefDistanceKm: 1000,
+	}
+)
+
+// Table8Capacities are the ISL capacities the paper sweeps.
+var Table8Capacities = []units.DataRate{1 * units.Gbps, 10 * units.Gbps, 100 * units.Gbps}
+
+// TxPowerAt returns the transmit power needed to close the link over
+// distKm, scaling quadratically with distance.
+func (lt LinkTech) TxPowerAt(distKm float64) units.Power {
+	if distKm <= 0 {
+		return 0
+	}
+	r := distKm / lt.RefDistanceKm
+	return units.Power(float64(lt.RefTxPower) * r * r)
+}
+
+// Topology describes how EO satellites connect to SµDCs within one orbital
+// plane.
+type Topology struct {
+	// K is the number of incoming ISL receivers per SµDC. K = 2 is the
+	// ring ("2-list") of Fig 10; larger even K gives the k-lists of
+	// Fig 12a. Must be even and ≥ 2.
+	K int
+	// Split is the number of SµDCs the cluster's compute is divided
+	// across (Fig 12b). 1 = monolithic.
+	Split int
+}
+
+// Ring is the baseline 2-list topology with a monolithic SµDC.
+var Ring = Topology{K: 2, Split: 1}
+
+// Validate checks the topology.
+func (t Topology) Validate() error {
+	if t.K < 2 || t.K%2 != 0 {
+		return fmt.Errorf("isl: k must be even and ≥ 2, got %d", t.K)
+	}
+	if t.Split < 1 {
+		return fmt.Errorf("isl: split must be ≥ 1, got %d", t.Split)
+	}
+	return nil
+}
+
+// SupportableEOSats returns the number of EO satellites one SµDC can ingest
+// before its ISLs saturate: each of the K receivers accepts one chain whose
+// limiting link runs at full capacity, so the SµDC ingests K·C and each
+// satellite produces perSatRate — the Table 8 model generalized from K = 2.
+func SupportableEOSats(linkCap, perSatRate units.DataRate, k int) int {
+	if perSatRate <= 0 || linkCap <= 0 || k <= 0 {
+		return 0
+	}
+	return int(float64(k) * float64(linkCap) / float64(perSatRate))
+}
+
+// ClustersForISL returns how many clusters (and thus SµDCs, before
+// splitting) a constellation of totalSats needs so that no SµDC is
+// ISL-bottlenecked.
+func ClustersForISL(totalSats int, linkCap, perSatRate units.DataRate, k int) int {
+	m := SupportableEOSats(linkCap, perSatRate, k)
+	if m <= 0 {
+		return math.MaxInt32 // no number of clusters helps: one satellite already saturates a link
+	}
+	return (totalSats + m - 1) / m
+}
+
+// Bottleneck classifies a cluster design (§7): ISL-bottlenecked when the
+// links limit the satellites per SµDC below what its compute could serve.
+type Bottleneck int
+
+// Bottleneck states.
+const (
+	ComputeBound Bottleneck = iota // ISL-unconstrained: compute sets the SµDC count
+	ISLBound                       // ISL-bottlenecked: links set the SµDC count
+)
+
+// String names the bottleneck.
+func (b Bottleneck) String() string {
+	if b == ISLBound {
+		return "ISL-bottlenecked"
+	}
+	return "ISL-unconstrained"
+}
+
+// Classify compares the compute-supportable satellite count n with the
+// ISL-supportable count m: m < n means the constellation is
+// ISL-bottlenecked (§7's m < n condition).
+func Classify(computeSats, islSats int) Bottleneck {
+	if islSats < computeSats {
+		return ISLBound
+	}
+	return ComputeBound
+}
+
+// PlaneGeometry captures the in-plane spacing needed for k-list power and
+// feasibility analysis.
+type PlaneGeometry struct {
+	AltKm float64
+	// SpacingRad is the angular separation between adjacent satellites.
+	SpacingRad float64
+}
+
+// OrbitSpacedGeometry distributes n satellites evenly around the plane.
+func OrbitSpacedGeometry(altKm float64, n int) PlaneGeometry {
+	return PlaneGeometry{AltKm: altKm, SpacingRad: 2 * math.Pi / float64(n)}
+}
+
+// FrameSpacedGeometry packs satellites spacingKm apart along track.
+func FrameSpacedGeometry(altKm, spacingKm float64) PlaneGeometry {
+	r := orbit.EarthRadiusKm + altKm
+	return PlaneGeometry{AltKm: altKm, SpacingRad: spacingKm / r}
+}
+
+// HopDistanceKm returns the chord length of a k-list link, which spans k/2
+// adjacent-satellite spacings.
+func (g PlaneGeometry) HopDistanceKm(k int) float64 {
+	r := orbit.EarthRadiusKm + g.AltKm
+	angle := float64(k) / 2 * g.SpacingRad
+	if angle >= 2*math.Pi {
+		angle = 2 * math.Pi
+	}
+	return 2 * r * math.Sin(angle/2)
+}
+
+// MaxK returns the largest even k whose hop chord stays above the
+// atmospheric grazing altitude — beyond it the link either fades in the
+// atmosphere or is blocked by Earth (§8). Orbit-spaced formations hit this
+// limit quickly; frame-spaced formations effectively never do.
+func (g PlaneGeometry) MaxK(grazeAltKm float64) int {
+	r := orbit.EarthRadiusKm + g.AltKm
+	block := orbit.EarthRadiusKm + grazeAltKm
+	if r <= block {
+		return 0
+	}
+	// Chord midpoint depth: r·cos(α/2) ≥ block, α = (k/2)·spacing.
+	alphaMax := 2 * math.Acos(block/r)
+	kMax := int(alphaMax / g.SpacingRad * 2)
+	if kMax%2 != 0 {
+		kMax--
+	}
+	if kMax < 2 {
+		return 0
+	}
+	return kMax
+}
+
+// CoDesign is the Fig 13 accounting for one (topology, geometry, tech)
+// design point on a fixed constellation.
+type CoDesign struct {
+	Topology Topology
+	Geometry PlaneGeometry
+	Tech     LinkTech
+	// TotalSats in the constellation (64 in the paper's study).
+	TotalSats int
+}
+
+// AggregateCapacity returns the total rate at which EO data can flow into
+// all SµDCs: split clusters × k receivers each × link capacity.
+func (c CoDesign) AggregateCapacity() units.DataRate {
+	return units.DataRate(float64(c.Tech.Capacity) * float64(c.Topology.K) * float64(c.Topology.Split))
+}
+
+// TotalTxPower returns the transmit power of all satellite ISL
+// transmitters. Every satellite drives one outbound link of the k-list
+// chain, whose span (and thus power, ∝ d²) grows with k. Splitting leaves
+// link spans unchanged.
+func (c CoDesign) TotalTxPower() units.Power {
+	d := c.Geometry.HopDistanceKm(c.Topology.K)
+	return units.Power(float64(c.Tech.TxPowerAt(d)) * float64(c.TotalSats))
+}
+
+// Feasible reports whether the k-list spans clear the atmosphere.
+func (c CoDesign) Feasible(grazeAltKm float64) bool {
+	maxK := c.Geometry.MaxK(grazeAltKm)
+	return c.Topology.K <= maxK
+}
+
+// Normalized is one row of Fig 13: capacity and power relative to the
+// baseline ring without splitting.
+type Normalized struct {
+	Topology     Topology
+	CapacityNorm float64
+	PowerNorm    float64
+	Feasible     bool
+}
+
+// Fig13Point computes the design point normalized against Ring on the same
+// geometry and technology.
+func (c CoDesign) Fig13Point(grazeAltKm float64) Normalized {
+	base := CoDesign{Topology: Ring, Geometry: c.Geometry, Tech: c.Tech, TotalSats: c.TotalSats}
+	return Normalized{
+		Topology:     c.Topology,
+		CapacityNorm: float64(c.AggregateCapacity()) / float64(base.AggregateCapacity()),
+		PowerNorm:    float64(c.TotalTxPower()) / float64(base.TotalTxPower()),
+		Feasible:     c.Feasible(grazeAltKm),
+	}
+}

@@ -1,0 +1,247 @@
+package isl
+
+import (
+	"math"
+	"testing"
+
+	"spacedc/internal/datagen"
+	"spacedc/internal/units"
+)
+
+func TestSupportableEOSatsTable8Shape(t *testing.T) {
+	// Table 8's model: a ring SµDC at 3 m / 0 ED with 1 Gbit/s ISLs
+	// supports ~10 satellites (the paper reports 9 with its rounding);
+	// counts scale linearly with capacity and 1/(1-ED), quadratically
+	// with resolution refinement.
+	rate3m := datagen.Default4K.DataRate(3, 0)
+	n := SupportableEOSats(1*units.Gbps, rate3m, 2)
+	if n != 9 {
+		t.Errorf("3 m, 0 ED, 1 Gb/s ring supports %d sats, want 9 (Table 8)", n)
+	}
+	// ×10 capacity → ×10 satellites.
+	n10 := SupportableEOSats(10*units.Gbps, rate3m, 2)
+	if n10 < 10*n-10 || n10 > 10*n+10 {
+		t.Errorf("10 Gb/s supports %d, want ≈10×%d", n10, n)
+	}
+	// 95% early discard → ×20 satellites.
+	rate95 := datagen.Default4K.DataRate(3, 0.95)
+	n95 := SupportableEOSats(1*units.Gbps, rate95, 2)
+	if float64(n95) < 19*float64(n) || float64(n95) > 21*float64(n) {
+		t.Errorf("95%% ED supports %d, want ≈20×%d", n95, n)
+	}
+	// 1 m resolution → /9.
+	rate1m := datagen.Default4K.DataRate(1, 0)
+	n1m := SupportableEOSats(1*units.Gbps, rate1m, 2)
+	if n1m != 1 {
+		t.Errorf("1 m, 0 ED, 1 Gb/s supports %d, want 1 (Table 8)", n1m)
+	}
+}
+
+func TestSupportableEOSatsFineResolutionFails(t *testing.T) {
+	// Table 8: at 30 cm / 0 ED even 10 Gb/s supports zero satellites;
+	// 100 Gb/s supports a handful.
+	rate := datagen.Default4K.DataRate(0.3, 0)
+	if n := SupportableEOSats(1*units.Gbps, rate, 2); n != 0 {
+		t.Errorf("30 cm on 1 Gb/s supports %d, want 0", n)
+	}
+	if n := SupportableEOSats(10*units.Gbps, rate, 2); n != 0 {
+		t.Errorf("30 cm on 10 Gb/s supports %d, want 0 (Table 8)", n)
+	}
+	if n := SupportableEOSats(100*units.Gbps, rate, 2); n < 8 || n > 10 {
+		t.Errorf("30 cm on 100 Gb/s supports %d, want ≈9 (Table 8: 8)", n)
+	}
+	// 10 cm / 0 ED: zero even at 100 Gb/s with a ring… the paper reports 0.
+	rate10cm := datagen.Default4K.DataRate(0.1, 0)
+	if n := SupportableEOSats(100*units.Gbps, rate10cm, 2); n > 1 {
+		t.Errorf("10 cm on 100 Gb/s supports %d, want ≈0-1 (Table 8: 0)", n)
+	}
+}
+
+func TestSupportableScalesWithK(t *testing.T) {
+	rate := datagen.Default4K.DataRate(1, 0.5)
+	ring := SupportableEOSats(10*units.Gbps, rate, 2)
+	four := SupportableEOSats(10*units.Gbps, rate, 4)
+	eight := SupportableEOSats(10*units.Gbps, rate, 8)
+	// §8: a k-list supports k/2 × the ring's satellites (up to flooring).
+	if four < 2*ring || four > 2*ring+1 {
+		t.Errorf("4-list supports %d, want ≈2×%d", four, ring)
+	}
+	if eight < 4*ring || eight > 4*ring+3 {
+		t.Errorf("8-list supports %d, want ≈4×%d", eight, ring)
+	}
+}
+
+func TestSupportableDegenerate(t *testing.T) {
+	if SupportableEOSats(0, units.Mbps, 2) != 0 ||
+		SupportableEOSats(units.Gbps, 0, 2) != 0 ||
+		SupportableEOSats(units.Gbps, units.Mbps, 0) != 0 {
+		t.Error("degenerate inputs should support zero satellites")
+	}
+}
+
+func TestClustersForISL(t *testing.T) {
+	rate := datagen.Default4K.DataRate(3, 0) // 9 sats per ring SµDC at 1 Gb/s
+	n := ClustersForISL(64, 1*units.Gbps, rate, 2)
+	if n != 8 {
+		t.Errorf("64 sats need %d clusters, want ceil(64/9) = 8", n)
+	}
+	// When one satellite saturates a link, no cluster count suffices.
+	if got := ClustersForISL(64, 1*units.Mbps, units.Gbps, 2); got != math.MaxInt32 {
+		t.Errorf("unsupportable rate should return MaxInt32, got %d", got)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	if Classify(10, 5) != ISLBound {
+		t.Error("m < n should be ISL-bottlenecked")
+	}
+	if Classify(10, 10) != ComputeBound || Classify(10, 50) != ComputeBound {
+		t.Error("m ≥ n should be ISL-unconstrained")
+	}
+	if ISLBound.String() != "ISL-bottlenecked" || ComputeBound.String() != "ISL-unconstrained" {
+		t.Error("bottleneck names wrong")
+	}
+}
+
+func TestTopologyValidate(t *testing.T) {
+	good := []Topology{{2, 1}, {4, 2}, {8, 4}}
+	for _, tp := range good {
+		if err := tp.Validate(); err != nil {
+			t.Errorf("%+v rejected: %v", tp, err)
+		}
+	}
+	bad := []Topology{{0, 1}, {3, 1}, {2, 0}, {-2, 1}}
+	for _, tp := range bad {
+		if err := tp.Validate(); err == nil {
+			t.Errorf("%+v accepted", tp)
+		}
+	}
+}
+
+func TestTxPowerQuadratic(t *testing.T) {
+	p1 := Optical10G.TxPowerAt(1000)
+	p2 := Optical10G.TxPowerAt(2000)
+	if math.Abs(float64(p2)/float64(p1)-4) > 1e-9 {
+		t.Errorf("doubling distance scaled power by %v, want 4", float64(p2)/float64(p1))
+	}
+	if Optical10G.TxPowerAt(0) != 0 {
+		t.Error("zero distance should need no power")
+	}
+	if p1 != Optical10G.RefTxPower {
+		t.Errorf("reference distance power = %v, want %v", p1, Optical10G.RefTxPower)
+	}
+}
+
+func TestHopDistance(t *testing.T) {
+	g := OrbitSpacedGeometry(550, 64)
+	ring := g.HopDistanceKm(2)
+	// 2π/64 at r = 6928 km → chord ≈ 680 km.
+	if math.Abs(ring-680) > 5 {
+		t.Errorf("ring hop = %v km, want ≈680", ring)
+	}
+	four := g.HopDistanceKm(4)
+	if four <= ring || four > 2*ring+1 {
+		t.Errorf("4-list hop %v vs ring %v: want ≈2× (small angle)", four, ring)
+	}
+	// Frame-spaced: 12 km hops regardless of k being small.
+	fg := FrameSpacedGeometry(550, 12)
+	if got := fg.HopDistanceKm(2); math.Abs(got-12) > 0.1 {
+		t.Errorf("frame-spaced hop = %v, want 12", got)
+	}
+}
+
+func TestMaxKOrbitVsFrameSpaced(t *testing.T) {
+	// §8: orbit-spaced formations hit the atmosphere/Earth limit at small
+	// k; frame-spaced formations allow far larger k.
+	orbitG := OrbitSpacedGeometry(550, 64)
+	frameG := FrameSpacedGeometry(550, 12)
+	ok := orbitG.MaxK(100)
+	fk := frameG.MaxK(100)
+	if ok < 2 || ok > 20 {
+		t.Errorf("orbit-spaced max k = %d, want small double digits", ok)
+	}
+	if fk < 50*ok {
+		t.Errorf("frame-spaced max k = %d should dwarf orbit-spaced %d", fk, ok)
+	}
+}
+
+func TestMaxKDegenerate(t *testing.T) {
+	// A satellite below the grazing altitude cannot link at all.
+	g := OrbitSpacedGeometry(50, 64)
+	if got := g.MaxK(100); got != 0 {
+		t.Errorf("sub-graze altitude max k = %d, want 0", got)
+	}
+}
+
+func TestFig13Normalization(t *testing.T) {
+	g := FrameSpacedGeometry(550, 12)
+	base := CoDesign{Topology: Ring, Geometry: g, Tech: Optical10G, TotalSats: 64}
+	pt := base.Fig13Point(100)
+	if pt.CapacityNorm != 1 || pt.PowerNorm != 1 {
+		t.Errorf("baseline should normalize to (1,1): %+v", pt)
+	}
+
+	// 4-list: 2× capacity, ≈4× power (§8's stated rule).
+	four := CoDesign{Topology: Topology{K: 4, Split: 1}, Geometry: g, Tech: Optical10G, TotalSats: 64}
+	pt4 := four.Fig13Point(100)
+	if math.Abs(pt4.CapacityNorm-2) > 1e-9 {
+		t.Errorf("4-list capacity norm = %v, want 2", pt4.CapacityNorm)
+	}
+	if math.Abs(pt4.PowerNorm-4) > 0.01 {
+		t.Errorf("4-list power norm = %v, want ≈4", pt4.PowerNorm)
+	}
+
+	// Splitting ×2: doubles capacity at unchanged power.
+	split := CoDesign{Topology: Topology{K: 2, Split: 2}, Geometry: g, Tech: Optical10G, TotalSats: 64}
+	ptS := split.Fig13Point(100)
+	if math.Abs(ptS.CapacityNorm-2) > 1e-9 || math.Abs(ptS.PowerNorm-1) > 1e-9 {
+		t.Errorf("2-way split = %+v, want capacity 2, power 1", ptS)
+	}
+
+	// Combined 4-list × 2-split: capacity 4, power 4 — "benefits are
+	// orthogonal… multi-linear" (§8).
+	both := CoDesign{Topology: Topology{K: 4, Split: 2}, Geometry: g, Tech: Optical10G, TotalSats: 64}
+	ptB := both.Fig13Point(100)
+	if math.Abs(ptB.CapacityNorm-4) > 1e-9 {
+		t.Errorf("4-list × 2-split capacity = %v, want 4", ptB.CapacityNorm)
+	}
+}
+
+func TestFig13FeasibilityOrbitSpaced(t *testing.T) {
+	g := OrbitSpacedGeometry(550, 64)
+	maxK := g.MaxK(100)
+	ok := CoDesign{Topology: Topology{K: maxK, Split: 1}, Geometry: g, Tech: Optical100G, TotalSats: 64}
+	if !ok.Feasible(100) {
+		t.Errorf("k = maxK = %d should be feasible", maxK)
+	}
+	too := CoDesign{Topology: Topology{K: maxK + 2, Split: 1}, Geometry: g, Tech: Optical100G, TotalSats: 64}
+	if too.Feasible(100) {
+		t.Errorf("k = %d should graze the atmosphere", maxK+2)
+	}
+	pt := too.Fig13Point(100)
+	if pt.Feasible {
+		t.Error("Fig13Point should mark infeasible designs")
+	}
+}
+
+func TestOpticalPointingSlowerThanRF(t *testing.T) {
+	// §7: optical ISLs take seconds to minutes to orient; RF beamforming
+	// repoints almost instantly.
+	if Optical10G.PointingSeconds <= RFKaBand.PointingSeconds {
+		t.Error("optical pointing should be slower than RF")
+	}
+	if !Optical10G.Optical || RFKaBand.Optical {
+		t.Error("optical flags wrong")
+	}
+}
+
+func TestTable8CapacitySweep(t *testing.T) {
+	if len(Table8Capacities) != 3 {
+		t.Fatal("Table 8 sweeps 3 capacities")
+	}
+	for i := 1; i < len(Table8Capacities); i++ {
+		if float64(Table8Capacities[i])/float64(Table8Capacities[i-1]) != 10 {
+			t.Error("capacities should step ×10")
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package mission_test
+
+import (
+	"fmt"
+
+	"spacedc/internal/apps"
+	"spacedc/internal/mission"
+)
+
+// Example plans the paper's baseline mission in one call.
+func Example() {
+	design, err := mission.Plan(mission.Spec{
+		App:          apps.FloodDetection,
+		SpatialResM:  1,
+		EarlyDiscard: 0.95,
+		Satellites:   64,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%d × %v SµDC, %d-list topology, %v\n",
+		design.SuDCs, design.PerSuDC.ComputeBudget, design.Topology.K, design.Bottleneck)
+	// Output: 1 × 4 kW SµDC, 2-list topology, ISL-unconstrained
+}

@@ -1,0 +1,285 @@
+// Package mission is the capstone API of the library: it composes the
+// coverage, core, isl, radiation, thermal, and orbit models into a single
+// end-to-end planner. Given an application, resolution, and revisit
+// target, Plan produces a complete SµDC-backed mission design — fleet
+// sizes, ISL topology, radiation posture, thermal and power budgets,
+// boost requirements, and economics — the full §5-9 story in one call.
+package mission
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"spacedc/internal/apps"
+	"spacedc/internal/core"
+	"spacedc/internal/coverage"
+	"spacedc/internal/datagen"
+	"spacedc/internal/gpusim"
+	"spacedc/internal/isl"
+	"spacedc/internal/orbit"
+	"spacedc/internal/radiation"
+	"spacedc/internal/thermal"
+	"spacedc/internal/units"
+)
+
+// Spec describes what the mission must do.
+type Spec struct {
+	App          apps.ID
+	SpatialResM  float64
+	EarlyDiscard float64
+	// RevisitTarget drives the constellation size. Zero uses Satellites
+	// directly.
+	RevisitTarget time.Duration
+	// Satellites fixes the fleet size when RevisitTarget is zero.
+	Satellites int
+	// SensorHalfAngleRad sets the imaging swath for revisit sizing
+	// (default 30°).
+	SensorHalfAngleRad float64
+
+	AltKm  float64 // constellation altitude (default 550)
+	IncRad float64 // constellation inclination (default 53°)
+
+	// SµDC design.
+	Device     gpusim.Device // default RTX 3090
+	SuDCBudget units.Power   // default 4 kW
+	Placement  core.Placement
+	ISLTech    isl.LinkTech // default optical 10G
+
+	MissionYears float64 // default 5
+	Epoch        time.Time
+}
+
+// withDefaults fills zero fields.
+func (s Spec) withDefaults() Spec {
+	if s.SensorHalfAngleRad == 0 {
+		s.SensorHalfAngleRad = 30 * math.Pi / 180
+	}
+	if s.AltKm == 0 {
+		s.AltKm = 550
+	}
+	if s.IncRad == 0 {
+		s.IncRad = 53 * math.Pi / 180
+	}
+	if s.Device.Name == "" {
+		s.Device = gpusim.RTX3090
+	}
+	if s.SuDCBudget == 0 {
+		s.SuDCBudget = 4 * units.Kilowatt
+	}
+	if s.ISLTech.Name == "" {
+		s.ISLTech = isl.Optical10G
+	}
+	if s.MissionYears == 0 {
+		s.MissionYears = 5
+	}
+	if s.Epoch.IsZero() {
+		s.Epoch = time.Date(2026, 3, 20, 0, 0, 0, 0, time.UTC)
+	}
+	return s
+}
+
+// Validate checks the spec after defaulting.
+func (s Spec) Validate() error {
+	if s.SpatialResM <= 0 {
+		return fmt.Errorf("mission: non-positive resolution %v", s.SpatialResM)
+	}
+	if s.EarlyDiscard < 0 || s.EarlyDiscard >= 1 {
+		return fmt.Errorf("mission: early discard %v outside [0, 1)", s.EarlyDiscard)
+	}
+	if s.RevisitTarget == 0 && s.Satellites <= 0 {
+		return fmt.Errorf("mission: need a revisit target or a satellite count")
+	}
+	if _, err := apps.ByID(s.App); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Design is the planned mission.
+type Design struct {
+	Spec Spec
+
+	// Fleet.
+	Satellites      int
+	RevisitAchieved time.Duration
+
+	// Compute.
+	SuDCs    int
+	PerSuDC  core.SuDC
+	Workload core.Workload
+
+	// Network.
+	Topology   isl.Topology
+	Clusters   int
+	Bottleneck isl.Bottleneck
+
+	// Environment.
+	SAAFraction float64
+	Mitigation  radiation.Mitigation
+
+	// Budgets.
+	Thermal      thermal.Budget
+	Power        core.PowerSystem
+	BoostDVPerYr float64 // m/s/yr of drag make-up
+	DisposalDV   float64 // m/s end-of-life burn
+
+	// Economics.
+	Capex         units.Money
+	BreakEvenDays float64 // vs $1000/min downlink
+}
+
+// Plan produces a full design for the spec.
+func Plan(spec Spec) (Design, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return Design{}, err
+	}
+	d := Design{Spec: spec}
+
+	// 1. Fleet size from the revisit requirement.
+	if spec.RevisitTarget > 0 {
+		im := coverage.Imager{AltKm: spec.AltKm, HalfAngleRad: spec.SensorHalfAngleRad}
+		n, err := coverage.SatellitesForRevisit(im, spec.RevisitTarget, 0)
+		if err != nil {
+			return Design{}, err
+		}
+		d.Satellites = n
+		d.RevisitAchieved, err = coverage.MeanRevisit(im, n, 0)
+		if err != nil {
+			return Design{}, err
+		}
+	} else {
+		d.Satellites = spec.Satellites
+	}
+
+	// 2. Radiation posture: SAA exposure and mitigation choice.
+	el := orbit.CircularLEO(spec.AltKm, spec.IncRad, 0, 0, spec.Epoch)
+	sudcAlt := spec.AltKm
+	if spec.Placement == core.GEO {
+		sudcAlt = orbit.GeostationaryAltitudeKm
+	}
+	saaFrac, err := radiation.DefaultSAA().TimeFraction(el, spec.Epoch, 24*time.Hour, time.Minute)
+	if err != nil {
+		return Design{}, err
+	}
+	d.SAAFraction = saaFrac
+	d.Mitigation = radiation.Recommend(sudcAlt, spec.MissionYears)
+
+	// 3. SµDC sizing with the mitigation's capacity tax.
+	sudc := core.SuDC{
+		Name:          "SµDC",
+		ComputeBudget: spec.SuDCBudget,
+		Device:        spec.Device,
+		Placement:     spec.Placement,
+	}
+	capacity := d.Mitigation.CapacityFactor(saaFrac)
+	effective := sudc
+	effective.ComputeBudget = units.Power(float64(sudc.ComputeBudget) * capacity)
+	d.PerSuDC = sudc
+
+	d.Workload = core.Workload{
+		App:          spec.App,
+		Mission:      datagen.Mission{Frame: datagen.Default4K, Satellites: d.Satellites},
+		ResolutionM:  spec.SpatialResM,
+		EarlyDiscard: spec.EarlyDiscard,
+	}
+	d.SuDCs, err = core.SuDCsNeeded(d.Workload, effective)
+	if err != nil {
+		return Design{}, err
+	}
+
+	// 4. ISL co-design: start from a ring and raise k (within geometric
+	// feasibility) until the constellation is compute-bound; any residual
+	// bottleneck is absorbed by splitting (more clusters).
+	geom := isl.OrbitSpacedGeometry(spec.AltKm, maxInt(d.Satellites, 1))
+	maxK := geom.MaxK(orbit.AtmosphereGrazeKm)
+	if maxK < 2 {
+		maxK = 2
+	}
+	chosen := isl.Ring
+	var plan core.ClusterPlan
+	for k := 2; k <= maxK; k += 2 {
+		plan, err = core.PlanClusters(d.Workload, effective, spec.ISLTech.Capacity, k)
+		if err != nil {
+			return Design{}, err
+		}
+		chosen = isl.Topology{K: k, Split: 1}
+		if plan.Bottleneck == isl.ComputeBound {
+			break
+		}
+	}
+	d.Topology = chosen
+	d.Clusters = plan.Clusters
+	d.Bottleneck = plan.Bottleneck
+
+	// 5. Physical budgets per SµDC.
+	d.Thermal, err = thermal.SizeBudget(sudc.ComputeBudget)
+	if err != nil {
+		return Design{}, err
+	}
+	var sudcOrbit orbit.Elements
+	if spec.Placement == core.GEO {
+		sudcOrbit = orbit.Geostationary(0, spec.Epoch)
+	} else {
+		sudcOrbit = el
+	}
+	d.Power, err = core.SizePowerSystem(sudc, sudcOrbit, spec.Epoch)
+	if err != nil {
+		return Design{}, err
+	}
+	body := orbit.DragBody{MassKg: 2000, AreaM2: 40}
+	d.BoostDVPerYr = body.BoostDeltaVPerYear(sudcAlt)
+	if spec.Placement == core.GEO {
+		d.DisposalDV = orbit.GraveyardDeltaV()
+	} else {
+		d.DisposalDV = orbit.DisposalDeltaV(sudcAlt, 50)
+	}
+
+	// 6. Economics.
+	cm := core.DefaultCostModel()
+	launched := d.Clusters
+	if d.SuDCs > launched {
+		launched = d.SuDCs
+	}
+	d.Capex = cm.SuDCCapex(launched)
+	d.BreakEvenDays = cm.BreakEvenDays(launched, units.Money(1000*60*24))
+	return d, nil
+}
+
+// maxInt returns the larger int.
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Summary renders the design as a human-readable block.
+func (d Design) Summary() string {
+	out := fmt.Sprintf("mission: %s at %s, %.0f%% early discard\n",
+		d.Spec.App, datagen.ResolutionLabel(d.Spec.SpatialResM), d.Spec.EarlyDiscard*100)
+	out += fmt.Sprintf("fleet: %d EO satellites at %.0f km", d.Satellites, d.Spec.AltKm)
+	if d.RevisitAchieved > 0 {
+		out += fmt.Sprintf(" (revisit %v)", d.RevisitAchieved.Round(time.Minute))
+	}
+	out += "\n"
+	out += fmt.Sprintf("compute: %d × %v SµDC (%s, %s placement)\n",
+		d.SuDCs, d.PerSuDC.ComputeBudget, d.PerSuDC.Device.Name, d.PerSuDC.Placement)
+	if d.Clusters > 100000 {
+		out += fmt.Sprintf("network: INFEASIBLE — one satellite's stream saturates a %s link; "+
+			"raise ISL capacity or early discard\n", d.Spec.ISLTech.Name)
+	} else {
+		out += fmt.Sprintf("network: %d-list, %d clusters (%v) over %s\n",
+			d.Topology.K, d.Clusters, d.Bottleneck, d.Spec.ISLTech.Name)
+	}
+	out += fmt.Sprintf("radiation: %.1f%% of orbit in SAA → %v\n", d.SAAFraction*100, d.Mitigation)
+	out += fmt.Sprintf("thermal: %.1f m² radiator, %d heat pipes, %v recovered\n",
+		d.Thermal.RadiatorAreaM2, d.Thermal.HeatPipes, d.Thermal.TEGRecovered)
+	out += fmt.Sprintf("power: %v array, %.0f kg battery (%.1f yr)\n",
+		d.Power.ArrayPower, d.Power.BatteryMassKg, d.Power.BatteryYears)
+	out += fmt.Sprintf("orbit upkeep: %.1f m/s/yr boost, %.0f m/s disposal\n", d.BoostDVPerYr, d.DisposalDV)
+	out += fmt.Sprintf("economics: %v capex, breakeven vs $1000/min downlink in %.0f days\n",
+		d.Capex, d.BreakEvenDays)
+	return out
+}

@@ -1,0 +1,223 @@
+package mission
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"spacedc/internal/apps"
+	"spacedc/internal/core"
+	"spacedc/internal/gpusim"
+	"spacedc/internal/isl"
+	"spacedc/internal/units"
+)
+
+func baseSpec() Spec {
+	return Spec{
+		App:          apps.FloodDetection,
+		SpatialResM:  1,
+		EarlyDiscard: 0.95,
+		Satellites:   64,
+	}
+}
+
+func TestPlanBaseline(t *testing.T) {
+	d, err := Plan(baseSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Satellites != 64 {
+		t.Errorf("satellites = %d", d.Satellites)
+	}
+	// The Fig 9 headline: one 4 kW SµDC for FD at 1 m / 95%... the SAA
+	// pause tax is small, so still 1.
+	if d.SuDCs != 1 {
+		t.Errorf("SuDCs = %d, want 1", d.SuDCs)
+	}
+	if d.Clusters < d.SuDCs {
+		t.Error("clusters must cover compute")
+	}
+	if d.Capex <= 0 || d.BreakEvenDays <= 0 {
+		t.Errorf("economics empty: %+v", d.Capex)
+	}
+	if d.Thermal.RadiatorAreaM2 <= 0 || d.Power.BatteryMassKg <= 0 {
+		t.Error("physical budgets missing")
+	}
+	if d.Mitigation != 0 && d.Mitigation.String() == "unknown" {
+		t.Error("mitigation unset")
+	}
+	s := d.Summary()
+	for _, want := range []string{"mission: FD", "fleet: 64", "compute:", "network:", "radiation:", "economics:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestPlanRevisitDrivenFleet(t *testing.T) {
+	spec := baseSpec()
+	spec.Satellites = 0
+	spec.RevisitTarget = time.Hour
+	d, err := Plan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Satellites < 10 {
+		t.Errorf("hourly revisit sized only %d satellites", d.Satellites)
+	}
+	if d.RevisitAchieved <= 0 || d.RevisitAchieved > time.Hour {
+		t.Errorf("achieved revisit %v, want ≤ target", d.RevisitAchieved)
+	}
+	// Tighter revisit → larger fleet.
+	spec.RevisitTarget = 10 * time.Minute
+	d2, err := Plan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Satellites <= d.Satellites {
+		t.Errorf("10-min fleet %d should exceed 1-hour fleet %d", d2.Satellites, d.Satellites)
+	}
+}
+
+func TestPlanResolvesISLBottleneckWithKList(t *testing.T) {
+	// A lightweight app at fine resolution on weak links: the ring is
+	// bottlenecked, and the planner should raise k (feasible on a 64-sat
+	// orbit-spaced plane up to k=14).
+	spec := baseSpec()
+	spec.App = apps.TrafficMonitor
+	spec.SpatialResM = 0.3
+	spec.EarlyDiscard = 0.5
+	spec.ISLTech = isl.Optical10G
+	d, err := Plan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Topology.K <= 2 && d.Bottleneck == isl.ISLBound {
+		t.Errorf("planner left a resolvable bottleneck at k=2: %+v", d.Topology)
+	}
+	if d.Topology.K > 2 {
+		// Raising k must not be gratuitous: the ring must actually have
+		// been bottlenecked.
+		ringPlan, err := core.PlanClusters(d.Workload, d.PerSuDC, spec.ISLTech.Capacity, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ringPlan.Bottleneck != isl.ISLBound {
+			t.Error("planner raised k without need")
+		}
+	}
+}
+
+func TestPlanGEOPlacement(t *testing.T) {
+	leo, err := Plan(baseSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := baseSpec()
+	spec.Placement = core.GEO
+	spec.MissionYears = 15
+	geo, err := Plan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GEO: smaller array, longer battery life, near-zero boost, cheap
+	// graveyard disposal, heavier radiation posture.
+	if geo.Power.ArrayPower >= leo.Power.ArrayPower {
+		t.Errorf("GEO array %v should undercut LEO %v", geo.Power.ArrayPower, leo.Power.ArrayPower)
+	}
+	if geo.Power.BatteryYears <= leo.Power.BatteryYears {
+		t.Error("GEO battery should outlive LEO")
+	}
+	if geo.BoostDVPerYr >= leo.BoostDVPerYr {
+		t.Error("GEO needs less boosting")
+	}
+	if geo.DisposalDV >= leo.DisposalDV {
+		t.Error("GEO graveyard should be cheaper than LEO deorbit")
+	}
+	if geo.Mitigation <= leo.Mitigation {
+		t.Errorf("15-year GEO mitigation (%v) should exceed LEO (%v)", geo.Mitigation, leo.Mitigation)
+	}
+}
+
+func TestPlanDeviceMatters(t *testing.T) {
+	spec := baseSpec()
+	spec.SpatialResM = 0.1
+	spec.EarlyDiscard = 0.5
+	rtx, err := Plan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Device = gpusim.CloudAI100
+	ai, err := Plan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ai.SuDCs >= rtx.SuDCs {
+		t.Errorf("AI 100 fleet %d should undercut RTX fleet %d", ai.SuDCs, rtx.SuDCs)
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	bad := baseSpec()
+	bad.SpatialResM = 0
+	if _, err := Plan(bad); err == nil {
+		t.Error("zero resolution accepted")
+	}
+	bad = baseSpec()
+	bad.EarlyDiscard = 1
+	if _, err := Plan(bad); err == nil {
+		t.Error("100% discard accepted")
+	}
+	bad = baseSpec()
+	bad.Satellites = 0
+	if _, err := Plan(bad); err == nil {
+		t.Error("no fleet sizing input accepted")
+	}
+	bad = baseSpec()
+	bad.App = "NOPE"
+	if _, err := Plan(bad); err == nil {
+		t.Error("unknown app accepted")
+	}
+	// PS on Xavier is unplannable.
+	bad = baseSpec()
+	bad.App = apps.PanopticSeg
+	bad.Device = gpusim.JetsonXavier
+	if _, err := Plan(bad); err == nil {
+		t.Error("PS on Xavier accepted")
+	}
+}
+
+func TestPlanDefaultsApplied(t *testing.T) {
+	d, err := Plan(baseSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.PerSuDC.Device.Name != "RTX 3090" {
+		t.Errorf("default device = %s", d.PerSuDC.Device.Name)
+	}
+	if d.PerSuDC.ComputeBudget != 4*units.Kilowatt {
+		t.Errorf("default budget = %v", d.PerSuDC.ComputeBudget)
+	}
+	if d.Spec.MissionYears != 5 || d.Spec.AltKm != 550 {
+		t.Errorf("defaults not applied: %+v", d.Spec)
+	}
+}
+
+func TestPlanInfeasibleISLSurfaced(t *testing.T) {
+	// TM at 10 cm with no discard over RF links: a single satellite's
+	// stream (~191 Gb/s) saturates any chain; the summary must say so
+	// rather than print a MaxInt32 cluster count.
+	spec := baseSpec()
+	spec.App = apps.TrafficMonitor
+	spec.SpatialResM = 0.1
+	spec.EarlyDiscard = 0
+	spec.ISLTech = isl.RFKaBand
+	d, err := Plan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.Summary()
+	if !strings.Contains(s, "INFEASIBLE") {
+		t.Errorf("summary should flag ISL infeasibility:\n%s", s)
+	}
+}

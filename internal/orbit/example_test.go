@@ -1,0 +1,55 @@
+package orbit_test
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"spacedc/internal/orbit"
+)
+
+// Example propagates a circular LEO orbit and reports its basics.
+func Example() {
+	epoch := time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+	el := orbit.CircularLEO(550, 53*math.Pi/180, 0, 0, epoch)
+	fmt.Printf("period: %v\n", el.Period().Round(time.Second))
+	s := el.StateAt(epoch)
+	fmt.Printf("speed: %.3f km/s\n", s.Velocity.Norm())
+	// Output:
+	// period: 1h35m39s
+	// speed: 7.585 km/s
+}
+
+// ExampleSunSynchronousInclination reproduces the textbook SSO design
+// number for a 700 km orbit.
+func ExampleSunSynchronousInclination() {
+	inc := orbit.SunSynchronousInclination(700)
+	fmt.Printf("%.1f°\n", inc*180/math.Pi)
+	// Output: 98.2°
+}
+
+// ExampleGraveyardDeltaV shows why GEO retirement re-orbits instead of
+// deorbiting.
+func ExampleGraveyardDeltaV() {
+	fmt.Printf("graveyard: %.0f m/s, deorbit: %.0f m/s\n",
+		orbit.GraveyardDeltaV(),
+		orbit.DisposalDeltaV(orbit.GeostationaryAltitudeKm, 50))
+	// Output: graveyard: 11 m/s, deorbit: 1493 m/s
+}
+
+// ExampleFindWindows finds ground-station passes for an equatorial orbit.
+func ExampleFindWindows() {
+	epoch := time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+	el := orbit.CircularLEO(550, 0, 0, 0, epoch)
+	prop := orbit.J2Propagator{Elements: el}
+	site := orbit.Geodetic{LatRad: 0, LonRad: 0}
+	windows, err := orbit.FindWindows(
+		orbit.GroundStationVisibility(prop, site, 5*math.Pi/180),
+		epoch, 6*time.Hour, 30*time.Second, time.Second)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%d passes in 6 h\n", len(windows))
+	// Output: 3 passes in 6 h
+}

@@ -1,0 +1,80 @@
+package orbit
+
+import (
+	"math"
+	"time"
+
+	"spacedc/internal/vecmath"
+)
+
+// J2Rates holds the secular drift rates caused by Earth's oblateness (J2).
+type J2Rates struct {
+	RAANRadS        float64 // nodal regression rate dΩ/dt
+	ArgPerigeeRadS  float64 // apsidal rotation rate dω/dt
+	MeanAnomalyRadS float64 // perturbed mean motion dM/dt (includes n)
+}
+
+// J2SecularRates returns the first-order secular rates for the element set.
+func (el Elements) J2SecularRates() J2Rates {
+	a, e, i := el.SemiMajorKm, el.Eccentricity, el.InclinationRad
+	n := el.MeanMotionRadS()
+	p := a * (1 - e*e)
+	factor := 1.5 * EarthJ2 * (EarthRadiusKm / p) * (EarthRadiusKm / p) * n
+	cosI, sinI := math.Cos(i), math.Sin(i)
+	return J2Rates{
+		RAANRadS:        -factor * cosI,
+		ArgPerigeeRadS:  factor * (2 - 2.5*sinI*sinI),
+		MeanAnomalyRadS: n + factor*math.Sqrt(1-e*e)*(1-1.5*sinI*sinI),
+	}
+}
+
+// PropagateJ2 advances the element set to time t applying secular J2 drift
+// to Ω, ω, and M, and returns the drifted element set (still at epoch t).
+func (el Elements) PropagateJ2(t time.Time) Elements {
+	dt := t.Sub(el.Epoch).Seconds()
+	rates := el.J2SecularRates()
+	out := el
+	out.Epoch = t
+	out.RAANRad = vecmath.WrapTwoPi(el.RAANRad + rates.RAANRadS*dt)
+	out.ArgPerigeeRad = vecmath.WrapTwoPi(el.ArgPerigeeRad + rates.ArgPerigeeRadS*dt)
+	out.MeanAnomalyRad = vecmath.WrapTwoPi(el.MeanAnomalyRad + rates.MeanAnomalyRadS*dt)
+	return out
+}
+
+// StateAtJ2 propagates with secular J2 perturbations and returns the state.
+func (el Elements) StateAtJ2(t time.Time) State {
+	drifted := el.PropagateJ2(t)
+	ea := SolveKepler(drifted.MeanAnomalyRad, drifted.Eccentricity)
+	nu := EccentricToTrue(ea, drifted.Eccentricity)
+	return drifted.StateAtAnomaly(nu)
+}
+
+// SunSynchronousInclination returns the inclination (radians) that makes a
+// circular orbit at altKm sun-synchronous: its RAAN precesses 360° per
+// tropical year, keeping local solar time at the ascending node constant.
+// It returns NaN when no such inclination exists (altitude too high).
+func SunSynchronousInclination(altKm float64) float64 {
+	// Required nodal rate: 2π per tropical year, eastward.
+	const tropicalYearSec = 365.2421897 * 86400
+	want := 2 * math.Pi / tropicalYearSec
+
+	a := EarthRadiusKm + altKm
+	n := math.Sqrt(EarthMuKm3S2 / (a * a * a))
+	factor := -1.5 * EarthJ2 * (EarthRadiusKm / a) * (EarthRadiusKm / a) * n
+	cosI := want / factor
+	if cosI < -1 || cosI > 1 {
+		return math.NaN()
+	}
+	return math.Acos(cosI)
+}
+
+// SunSynchronous returns elements for a circular sun-synchronous orbit at
+// the given altitude with the satellite at argLat past the ascending node.
+// The boolean result is false when no SSO exists at that altitude.
+func SunSynchronous(altKm, raan, argLat float64, epoch time.Time) (Elements, bool) {
+	inc := SunSynchronousInclination(altKm)
+	if math.IsNaN(inc) {
+		return Elements{}, false
+	}
+	return CircularLEO(altKm, inc, raan, argLat, epoch), true
+}

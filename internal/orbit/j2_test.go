@@ -1,0 +1,118 @@
+package orbit
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSSOInclinationKnownValues(t *testing.T) {
+	// Textbook sun-synchronous inclinations (e.g. Boain 2004).
+	cases := []struct {
+		altKm, wantDeg float64
+	}{
+		{500, 97.4},
+		{700, 98.19},
+		{800, 98.6},
+	}
+	for _, c := range cases {
+		got := SunSynchronousInclination(c.altKm) * 180 / math.Pi
+		if math.Abs(got-c.wantDeg) > 0.15 {
+			t.Errorf("SSO inclination at %v km = %v°, want ≈%v", c.altKm, got, c.wantDeg)
+		}
+	}
+}
+
+func TestSSOImpossibleAtHighAltitude(t *testing.T) {
+	// At ~6000 km and above, no inclination can achieve the required rate.
+	if got := SunSynchronousInclination(15000); !math.IsNaN(got) {
+		t.Errorf("SSO at 15000 km should be impossible, got %v rad", got)
+	}
+	if _, ok := SunSynchronous(15000, 0, 0, testEpoch); ok {
+		t.Error("SunSynchronous should report failure at 15000 km")
+	}
+}
+
+func TestSSORaanPrecessionRate(t *testing.T) {
+	el, ok := SunSynchronous(700, 0, 0, testEpoch)
+	if !ok {
+		t.Fatal("no SSO at 700 km")
+	}
+	rates := el.J2SecularRates()
+	// Sun-synchronous nodal rate: +360°/tropical year ≈ 1.991e-7 rad/s.
+	want := 2 * math.Pi / (365.2421897 * 86400)
+	if math.Abs(rates.RAANRadS-want)/want > 1e-3 {
+		t.Errorf("SSO RAAN rate = %v rad/s, want %v", rates.RAANRadS, want)
+	}
+}
+
+func TestJ2RegressionSigns(t *testing.T) {
+	prograde := CircularLEO(550, 53*math.Pi/180, 0, 0, testEpoch)
+	if r := prograde.J2SecularRates(); r.RAANRadS >= 0 {
+		t.Errorf("prograde orbit should regress westward, got %v", r.RAANRadS)
+	}
+	retrograde := CircularLEO(550, 120*math.Pi/180, 0, 0, testEpoch)
+	if r := retrograde.J2SecularRates(); r.RAANRadS <= 0 {
+		t.Errorf("retrograde orbit should precess eastward, got %v", r.RAANRadS)
+	}
+	polar := CircularLEO(550, math.Pi/2, 0, 0, testEpoch)
+	if r := polar.J2SecularRates(); math.Abs(r.RAANRadS) > 1e-12 {
+		t.Errorf("polar orbit should have zero nodal rate, got %v", r.RAANRadS)
+	}
+}
+
+func TestJ2ISSNodalRate(t *testing.T) {
+	// ISS-like orbit (420 km, 51.6°): nodal regression ≈ -5.0°/day.
+	el := CircularLEO(420, 51.6*math.Pi/180, 0, 0, testEpoch)
+	ratesDegDay := el.J2SecularRates().RAANRadS * 180 / math.Pi * 86400
+	if math.Abs(ratesDegDay-(-5.0)) > 0.2 {
+		t.Errorf("ISS nodal rate = %v°/day, want ≈-5.0", ratesDegDay)
+	}
+}
+
+func TestCriticalInclinationFreezesPerigee(t *testing.T) {
+	// At i = 63.43°, dω/dt = 0 (Molniya's trick).
+	crit := math.Acos(math.Sqrt(1.0 / 5.0))
+	el := Elements{Epoch: testEpoch, SemiMajorKm: 26560, Eccentricity: 0.72,
+		InclinationRad: crit}
+	r := el.J2SecularRates()
+	if math.Abs(r.ArgPerigeeRadS) > 1e-12 {
+		t.Errorf("critical inclination apsidal rate = %v, want 0", r.ArgPerigeeRadS)
+	}
+}
+
+func TestPropagateJ2WrapsAngles(t *testing.T) {
+	el := CircularLEO(550, 53*math.Pi/180, 6.2, 6.2, testEpoch)
+	out := el.PropagateJ2(testEpoch.Add(30 * 24 * time.Hour))
+	for name, v := range map[string]float64{
+		"raan": out.RAANRad, "argp": out.ArgPerigeeRad, "ma": out.MeanAnomalyRad,
+	} {
+		if v < 0 || v >= 2*math.Pi {
+			t.Errorf("%s = %v not wrapped to [0, 2π)", name, v)
+		}
+	}
+	if !out.Epoch.Equal(testEpoch.Add(30 * 24 * time.Hour)) {
+		t.Error("PropagateJ2 should move the epoch")
+	}
+}
+
+func TestStateAtJ2ContinuousWithStateAt(t *testing.T) {
+	// At the epoch itself, J2 and two-body must agree exactly.
+	el := CircularLEO(700, 1.2, 0.4, 0.9, testEpoch)
+	d := el.StateAt(testEpoch).Position.DistanceTo(el.StateAtJ2(testEpoch).Position)
+	if d > 1e-9 {
+		t.Errorf("J2 vs two-body at epoch differ by %v km", d)
+	}
+}
+
+func TestJ2AltitudePreserved(t *testing.T) {
+	// Secular J2 does not change a or e, so altitude stays constant for a
+	// circular orbit.
+	el := CircularLEO(550, 1.0, 0, 0, testEpoch)
+	for _, days := range []int{1, 10, 100} {
+		s := el.StateAtJ2(testEpoch.AddDate(0, 0, days))
+		if alt := s.AltitudeKm(); math.Abs(alt-550) > 0.5 {
+			t.Errorf("day %d: altitude %v km, want 550", days, alt)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package orbit
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"spacedc/internal/vecmath"
+)
+
+// NumericalPropagator integrates the equations of motion directly with a
+// fixed-step RK4: point-mass gravity, optionally the J2 oblateness
+// acceleration, and optionally atmospheric drag. It is the independent
+// check on the analytic propagators — Kepler, the secular-J2 model, and
+// SGP4 are all validated against it in the tests — and the tool for
+// studying effects the analytic models average away.
+type NumericalPropagator struct {
+	InitialState State
+	Epoch        time.Time
+	// StepSec is the integration step (default 10 s).
+	StepSec float64
+	// IncludeJ2 adds the oblateness acceleration.
+	IncludeJ2 bool
+	// Drag, when non-nil, adds atmospheric drag for the body.
+	Drag *DragBody
+
+	// Integration cache: the propagator walks forward from the last
+	// evaluated state when possible.
+	curTime  time.Time
+	curState State
+	primed   bool
+}
+
+// NewNumericalPropagator builds a propagator from an initial state.
+func NewNumericalPropagator(s State, epoch time.Time) *NumericalPropagator {
+	return &NumericalPropagator{InitialState: s, Epoch: epoch, StepSec: 10, IncludeJ2: true}
+}
+
+// accel returns the total acceleration (km/s²) at position r with
+// velocity v.
+func (p *NumericalPropagator) accel(r, v vecmath.Vec3) vecmath.Vec3 {
+	rn := r.Norm()
+	a := r.Scale(-EarthMuKm3S2 / (rn * rn * rn))
+
+	if p.IncludeJ2 {
+		// Standard J2 acceleration in ECI.
+		factor := -1.5 * EarthJ2 * EarthMuKm3S2 * EarthRadiusKm * EarthRadiusKm / math.Pow(rn, 5)
+		z2r2 := (r.Z * r.Z) / (rn * rn)
+		a = a.Add(vecmath.Vec3{
+			X: factor * r.X * (1 - 5*z2r2),
+			Y: factor * r.Y * (1 - 5*z2r2),
+			Z: factor * r.Z * (3 - 5*z2r2),
+		})
+	}
+
+	if p.Drag != nil {
+		alt := rn - EarthRadiusKm
+		rho := AtmosphereDensity(alt) * 1e9 // kg/km³
+		// Velocity relative to the rotating atmosphere.
+		atmVel := vecmath.Vec3{X: -EarthRotationRateRadS * r.Y, Y: EarthRotationRateRadS * r.X}
+		rel := v.Sub(atmVel)
+		speed := rel.Norm()
+		bc := p.Drag.BallisticCoefficient() * 1e-6 // km²/kg
+		a = a.Add(rel.Scale(-0.5 * rho * speed * bc))
+	}
+	return a
+}
+
+// rk4Step advances (r, v) by dt seconds.
+func (p *NumericalPropagator) rk4Step(s State, dt float64) State {
+	type deriv struct {
+		dr, dv vecmath.Vec3
+	}
+	f := func(r, v vecmath.Vec3) deriv {
+		return deriv{dr: v, dv: p.accel(r, v)}
+	}
+	k1 := f(s.Position, s.Velocity)
+	k2 := f(s.Position.Add(k1.dr.Scale(dt/2)), s.Velocity.Add(k1.dv.Scale(dt/2)))
+	k3 := f(s.Position.Add(k2.dr.Scale(dt/2)), s.Velocity.Add(k2.dv.Scale(dt/2)))
+	k4 := f(s.Position.Add(k3.dr.Scale(dt)), s.Velocity.Add(k3.dv.Scale(dt)))
+
+	combine := func(a, b, c, d vecmath.Vec3) vecmath.Vec3 {
+		return a.Add(b.Scale(2)).Add(c.Scale(2)).Add(d).Scale(dt / 6)
+	}
+	return State{
+		Position: s.Position.Add(combine(k1.dr, k2.dr, k3.dr, k4.dr)),
+		Velocity: s.Velocity.Add(combine(k1.dv, k2.dv, k3.dv, k4.dv)),
+	}
+}
+
+// State implements Propagator: it integrates from the nearest cached state
+// to time t. Backward propagation restarts from the epoch.
+func (p *NumericalPropagator) State(t time.Time) (State, error) {
+	if p.StepSec <= 0 {
+		return State{}, fmt.Errorf("orbit: non-positive integration step %v", p.StepSec)
+	}
+	if p.InitialState.Position.IsZero() {
+		return State{}, fmt.Errorf("orbit: numerical propagator needs an initial state")
+	}
+	if !p.primed || t.Before(p.curTime) {
+		p.curTime = p.Epoch
+		p.curState = p.InitialState
+		p.primed = true
+	}
+	remaining := t.Sub(p.curTime).Seconds()
+	for remaining > 1e-9 {
+		dt := p.StepSec
+		if remaining < dt {
+			dt = remaining
+		}
+		p.curState = p.rk4Step(p.curState, dt)
+		remaining -= dt
+		if p.curState.Position.Norm() < EarthRadiusKm {
+			return State{}, fmt.Errorf("orbit: numerical propagation hit the surface")
+		}
+	}
+	p.curTime = t
+	return p.curState, nil
+}
+
+// SpecificEnergy returns the orbit's specific mechanical energy at the
+// current state (km²/s²) — conserved exactly in two-body motion, a good
+// integration-quality diagnostic.
+func SpecificEnergy(s State) float64 {
+	return s.Velocity.NormSq()/2 - EarthMuKm3S2/s.Position.Norm()
+}

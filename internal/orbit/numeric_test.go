@@ -1,0 +1,181 @@
+package orbit
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"spacedc/internal/vecmath"
+)
+
+func TestRK4MatchesKeplerTwoBody(t *testing.T) {
+	// With J2 and drag off, the integrator must track the analytic
+	// Kepler solution to sub-meter accuracy over several orbits.
+	el := Elements{Epoch: testEpoch, SemiMajorKm: 7000, Eccentricity: 0.05,
+		InclinationRad: 0.9, RAANRad: 1.1, ArgPerigeeRad: 0.3, MeanAnomalyRad: 0.2}
+	num := NewNumericalPropagator(el.StateAt(testEpoch), testEpoch)
+	num.IncludeJ2 = false
+	num.StepSec = 5
+
+	for _, dt := range []time.Duration{30 * time.Minute, 2 * time.Hour, 5 * time.Hour} {
+		tm := testEpoch.Add(dt)
+		got, err := num.State(tm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := el.StateAt(tm)
+		if d := got.Position.DistanceTo(want.Position); d > 0.005 {
+			t.Errorf("at +%v RK4 differs from Kepler by %v km", dt, d)
+		}
+	}
+}
+
+func TestRK4EnergyConservation(t *testing.T) {
+	el := CircularLEO(550, 0.9, 0, 0, testEpoch)
+	num := NewNumericalPropagator(el.StateAt(testEpoch), testEpoch)
+	num.IncludeJ2 = false
+	num.StepSec = 10
+	e0 := SpecificEnergy(el.StateAt(testEpoch))
+	s, err := num.State(testEpoch.Add(12 * time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(SpecificEnergy(s)-e0) / math.Abs(e0); rel > 1e-9 {
+		t.Errorf("energy drifted by %v over 12 h", rel)
+	}
+}
+
+func TestRK4J2NodalRegressionMatchesAnalytic(t *testing.T) {
+	// Integrated J2 dynamics should show the analytic secular RAAN drift.
+	el := CircularLEO(700, 51.6*math.Pi/180, 1.0, 0, testEpoch)
+	num := NewNumericalPropagator(el.StateAt(testEpoch), testEpoch)
+	num.StepSec = 10
+
+	after := testEpoch.Add(24 * time.Hour)
+	s, err := num.State(after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ElementsFromState(s, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRate := el.J2SecularRates().RAANRadS
+	wantRAAN := el.RAANRad + wantRate*86400
+	diff := math.Abs(math.Mod(got.RAANRad-wantRAAN+3*math.Pi, 2*math.Pi) - math.Pi)
+	// Within a few percent of a day's regression (~0.08 rad).
+	if diff > 0.01 {
+		t.Errorf("RAAN after 1 day = %v, analytic %v (diff %v rad)", got.RAANRad, wantRAAN, diff)
+	}
+}
+
+func TestRK4DragLowersOrbit(t *testing.T) {
+	el := CircularLEO(300, 0.9, 0, 0, testEpoch)
+	body := DragBody{MassKg: 4, AreaM2: 0.03} // cubesat at low altitude
+	num := NewNumericalPropagator(el.StateAt(testEpoch), testEpoch)
+	num.Drag = &body
+	num.StepSec = 10
+
+	s, err := num.State(testEpoch.Add(24 * time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := SpecificEnergy(el.StateAt(testEpoch))
+	e1 := SpecificEnergy(s)
+	if e1 >= e0 {
+		t.Errorf("drag should dissipate energy: %v → %v", e0, e1)
+	}
+	// And the decay magnitude should agree with the analytic rate within
+	// a factor of ~2 (analytic assumes circular averaging).
+	aNum := -EarthMuKm3S2 / (2 * e1)
+	aAna := el.SemiMajorKm - body.DecayRateKmPerYear(300)/365.25
+	dNum := el.SemiMajorKm - aNum
+	dAna := el.SemiMajorKm - aAna
+	if dAna <= 0 || dNum <= 0 {
+		t.Fatalf("no decay measured: num %v km, analytic %v km", dNum, dAna)
+	}
+	if r := dNum / dAna; r < 0.3 || r > 3 {
+		t.Errorf("daily decay: numerical %v km vs analytic %v km (ratio %v)", dNum, dAna, r)
+	}
+}
+
+func TestRK4SGP4CrossValidation(t *testing.T) {
+	// SGP4's mean-element trajectory should stay within tens of km of a
+	// direct J2 integration seeded with its osculating state over a few
+	// revolutions (they model slightly different things; the bound is
+	// loose but meaningful).
+	tle := mustTLE(t, str3TLE)
+	prop, err := NewSGP4(tle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, err := prop.StateAt(tle.Epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	num := NewNumericalPropagator(s0, tle.Epoch)
+	num.StepSec = 5
+
+	for _, minutes := range []float64{30, 90, 180} {
+		tm := tle.Epoch.Add(time.Duration(minutes * float64(time.Minute)))
+		sg, err := prop.StateAt(tm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nm, err := num.State(tm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := sg.Position.DistanceTo(nm.Position); d > 60 {
+			t.Errorf("at +%v min SGP4 and RK4 diverge by %v km", minutes, d)
+		}
+	}
+}
+
+func TestRK4BackwardRestarts(t *testing.T) {
+	el := CircularLEO(550, 0.9, 0, 0, testEpoch)
+	num := NewNumericalPropagator(el.StateAt(testEpoch), testEpoch)
+	num.IncludeJ2 = false
+	a, err := num.State(testEpoch.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ask for an earlier time: must restart cleanly, not walk backward.
+	b, err := num.State(testEpoch.Add(30 * time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// And forward again reproduces the first answer.
+	a2, err := num.State(testEpoch.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := a.Position.DistanceTo(a2.Position); d > 1e-6 {
+		t.Errorf("cache restart changed the trajectory by %v km", d)
+	}
+	if b.Position.DistanceTo(a.Position) < 1 {
+		t.Error("30-minute and 60-minute states should differ")
+	}
+}
+
+func TestRK4Validation(t *testing.T) {
+	num := &NumericalPropagator{}
+	if _, err := num.State(testEpoch); err == nil {
+		t.Error("empty initial state accepted")
+	}
+	el := CircularLEO(550, 0.9, 0, 0, testEpoch)
+	bad := NewNumericalPropagator(el.StateAt(testEpoch), testEpoch)
+	bad.StepSec = 0
+	if _, err := bad.State(testEpoch.Add(time.Minute)); err == nil {
+		t.Error("zero step accepted")
+	}
+	// A ballistic state (no tangential velocity) must error when it hits
+	// the surface.
+	falling := NewNumericalPropagator(State{
+		Position: vecmath.Vec3{X: EarthRadiusKm + 200},
+	}, testEpoch)
+	falling.IncludeJ2 = false
+	if _, err := falling.State(testEpoch.Add(time.Hour)); err == nil {
+		t.Error("surface impact not detected")
+	}
+}

@@ -1,0 +1,89 @@
+package orbit
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func BenchmarkSolveKepler(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		SolveKepler(float64(i%628)/100, 0.7)
+	}
+}
+
+func BenchmarkStateAtTwoBody(b *testing.B) {
+	el := CircularLEO(550, 53*math.Pi/180, 0.3, 0.7, testEpoch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		el.StateAt(testEpoch.Add(time.Duration(i) * time.Second))
+	}
+}
+
+func BenchmarkStateAtJ2(b *testing.B) {
+	el := CircularLEO(550, 53*math.Pi/180, 0.3, 0.7, testEpoch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		el.StateAtJ2(testEpoch.Add(time.Duration(i) * time.Second))
+	}
+}
+
+func BenchmarkSGP4Propagate(b *testing.B) {
+	tle := TLE{
+		Epoch:        testEpoch,
+		BStar:        1e-4,
+		Inclination:  0.9,
+		RAAN:         2,
+		Eccentricity: 0.01,
+		ArgPerigee:   1,
+		MeanAnomaly:  0.5,
+		MeanMotion:   15.2 * 2 * math.Pi / 1440,
+	}
+	prop, err := NewSGP4(tle)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prop.PropagateMinutes(float64(i % 1440)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSunPosition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		SunPositionECI(testEpoch.Add(time.Duration(i) * time.Minute))
+	}
+}
+
+func BenchmarkShadow(b *testing.B) {
+	el := CircularLEO(550, 0.9, 0, 0, testEpoch)
+	s := el.StateAt(testEpoch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Shadow(s.Position, testEpoch)
+	}
+}
+
+func BenchmarkECEFToGeodetic(b *testing.B) {
+	el := CircularLEO(550, 0.9, 0, 0, testEpoch)
+	p := ECIToECEF(el.StateAt(testEpoch).Position, testEpoch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ECEFToGeodetic(p)
+	}
+}
+
+func BenchmarkFindWindowsGroundStation(b *testing.B) {
+	el := CircularLEO(550, 0, 0, 0, testEpoch)
+	prop := J2Propagator{Elements: el}
+	site := Geodetic{LatRad: 0, LonRad: 0}
+	cond := GroundStationVisibility(prop, site, 5*math.Pi/180)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FindWindows(cond, testEpoch, 6*time.Hour, time.Minute, time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package orbit
+
+import (
+	"fmt"
+	"math"
+)
+
+// Repeat ground track design: EO missions that advertise fixed revisit
+// cadences (Table 1) fly orbits whose ground track repeats after exactly
+// j revolutions in k nodal days, so the same scenes come back under the
+// same viewing geometry. This file finds the altitude that closes a
+// (revolutions, days) resonance, including the J2 feedback on both the
+// orbit and Earth's apparent rotation.
+
+// RepeatGroundTrack describes a j revolutions / k days resonance.
+type RepeatGroundTrack struct {
+	Revolutions int // j: orbits per repeat cycle
+	Days        int // k: nodal days per repeat cycle
+}
+
+// Validate checks the resonance is sensible for LEO: between ~12 and ~16
+// revolutions per day.
+func (r RepeatGroundTrack) Validate() error {
+	if r.Revolutions <= 0 || r.Days <= 0 {
+		return fmt.Errorf("orbit: non-positive resonance %d/%d", r.Revolutions, r.Days)
+	}
+	ratio := float64(r.Revolutions) / float64(r.Days)
+	if ratio < 11 || ratio > 17 {
+		return fmt.Errorf("orbit: %v rev/day is outside the LEO band", ratio)
+	}
+	return nil
+}
+
+// SolveAltitude returns the circular-orbit altitude (km) at inclination
+// incRad whose ground track repeats after the resonance, iterating the J2
+// corrections to convergence.
+func (r RepeatGroundTrack) SolveAltitude(incRad float64) (float64, error) {
+	if err := r.Validate(); err != nil {
+		return 0, err
+	}
+	// The track repeats when j nodal periods span k nodal days:
+	// j·(2π/ωorbit) = k·(2π/(ωE − Ω̇)), i.e. the satellite completes j
+	// revolutions relative to the rotating, node-regressing Earth.
+	target := float64(r.Revolutions) / float64(r.Days)
+
+	alt := 550.0 // initial guess
+	for iter := 0; iter < 100; iter++ {
+		el := CircularLEO(alt, incRad, 0, 0, J2000)
+		rates := el.J2SecularRates()
+		// Effective orbital rate: perturbed mean motion plus apsidal
+		// drift (argument-of-latitude rate for a circular orbit).
+		orbital := rates.MeanAnomalyRadS + rates.ArgPerigeeRadS
+		earth := EarthRotationRateRadS - rates.RAANRadS
+		got := orbital / earth
+		if math.Abs(got-target) < 1e-10 {
+			return alt, nil
+		}
+		// Newton step via n ∝ a^(-3/2): d(ratio)/d(alt) ≈ -1.5·ratio/a.
+		a := EarthRadiusKm + alt
+		slope := -1.5 * got / a
+		alt -= (got - target) / slope * 1.0
+		if alt < 150 || alt > 2500 {
+			return 0, fmt.Errorf("orbit: no LEO altitude closes %d/%d at this inclination",
+				r.Revolutions, r.Days)
+		}
+	}
+	return 0, fmt.Errorf("orbit: repeat-track solve did not converge")
+}
+
+// GroundTrackShiftKm returns the westward equatorial shift between
+// successive ascending passes for a circular orbit at altKm, incRad — the
+// spacing a sensor swath must cover for gap-free mapping.
+func GroundTrackShiftKm(altKm, incRad float64) float64 {
+	el := CircularLEO(altKm, incRad, 0, 0, J2000)
+	rates := el.J2SecularRates()
+	orbital := rates.MeanAnomalyRadS + rates.ArgPerigeeRadS
+	earth := EarthRotationRateRadS - rates.RAANRadS
+	period := 2 * math.Pi / orbital
+	return earth * period * EarthRadiusKm
+}

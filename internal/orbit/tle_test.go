@@ -1,0 +1,132 @@
+package orbit
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseTLEThreeLine(t *testing.T) {
+	l1 := checksummed("1 25544U 98067A   26182.50000000  .00016717  00000-0  10270-3 0  9000")
+	l2 := checksummed("2 25544  51.6400 208.9163 0006703  69.9862  25.2906 15.49560000000000")
+	tle, err := ParseTLE("ISS (ZARYA)\n" + l1 + "\n" + l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tle.Name != "ISS (ZARYA)" {
+		t.Errorf("name = %q", tle.Name)
+	}
+	if tle.NoradID != "25544" {
+		t.Errorf("norad = %q", tle.NoradID)
+	}
+	if got := tle.Inclination * 180 / math.Pi; math.Abs(got-51.64) > 1e-9 {
+		t.Errorf("inclination = %v", got)
+	}
+	// Epoch day 182.5 of 2026 → July 1, 12:00 UTC.
+	want := time.Date(2026, 7, 1, 12, 0, 0, 0, time.UTC)
+	if d := tle.Epoch.Sub(want); d < -time.Second || d > time.Second {
+		t.Errorf("epoch = %v, want %v", tle.Epoch, want)
+	}
+	// Mean motion 15.4956 rev/day → rad/min.
+	wantMM := 15.4956 * 2 * math.Pi / 1440
+	if math.Abs(tle.MeanMotion-wantMM) > 1e-12 {
+		t.Errorf("mean motion = %v, want %v", tle.MeanMotion, wantMM)
+	}
+}
+
+func TestParseTLERejectsBadChecksum(t *testing.T) {
+	l1 := checksummed("1 25544U 98067A   26182.50000000  .00016717  00000-0  10270-3 0  9000")
+	l2 := checksummed("2 25544  51.6400 208.9163 0006703  69.9862  25.2906 15.49560000000000")
+	// Corrupt line 2's checksum digit.
+	bad := l2[:68] + string(rune('0'+(int(l2[68]-'0')+1)%10))
+	if _, err := ParseTLE(l1 + "\n" + bad); err == nil {
+		t.Error("corrupted checksum accepted")
+	}
+}
+
+func TestParseTLERejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"one line only",
+		"1 short\n2 short",
+		strings.Repeat("x", 69) + "\n" + strings.Repeat("y", 69),
+	}
+	for _, c := range cases {
+		if _, err := ParseTLE(c); err == nil {
+			t.Errorf("garbage accepted: %q", c)
+		}
+	}
+}
+
+func TestParseTLESwappedLineNumbers(t *testing.T) {
+	l1 := checksummed("1 25544U 98067A   26182.50000000  .00016717  00000-0  10270-3 0  9000")
+	l2 := checksummed("2 25544  51.6400 208.9163 0006703  69.9862  25.2906 15.49560000000000")
+	if _, err := ParseTLE(l2 + "\n" + l1); err == nil {
+		t.Error("swapped lines accepted")
+	}
+}
+
+func TestParseTLEExpFormats(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{" 66816-4", 0.66816e-4},
+		{"-66816-4", -0.66816e-4},
+		{" 00000-0", 0},
+		{" 00000+0", 0},
+		{" 12345+1", 1.2345},
+	}
+	for _, c := range cases {
+		got, err := parseTLEExp(c.in)
+		if err != nil {
+			t.Errorf("parseTLEExp(%q): %v", c.in, err)
+			continue
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("parseTLEExp(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseTLEEpochCentury(t *testing.T) {
+	// Year 57 → 1957 (Sputnik era); year 56 → 2056.
+	got, err := parseTLEEpoch("57001.00000000")
+	if err != nil || got.Year() != 1957 {
+		t.Errorf("yy=57 → %v (err %v), want 1957", got, err)
+	}
+	got, err = parseTLEEpoch("56001.00000000")
+	if err != nil || got.Year() != 2056 {
+		t.Errorf("yy=56 → %v (err %v), want 2056", got, err)
+	}
+}
+
+func TestTLEElementsConversion(t *testing.T) {
+	tle := mustTLE(t, str3TLE)
+	el := tle.Elements()
+	if err := el.Validate(); err != nil {
+		t.Fatalf("converted elements invalid: %v", err)
+	}
+	// 16.058 rev/day → period ≈ 89.7 min → a ≈ 6643 km.
+	if math.Abs(el.SemiMajorKm-6643) > 10 {
+		t.Errorf("a = %v km, want ≈6643", el.SemiMajorKm)
+	}
+	if el.Eccentricity != tle.Eccentricity {
+		t.Error("eccentricity should carry over")
+	}
+	// Two-body propagation from converted elements should stay within a
+	// few tens of km of SGP4 over one revolution (mean vs osculating).
+	prop, err := NewSGP4(tle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, err := prop.PropagateMinutes(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kp := el.StateAtJ2(tle.Epoch.Add(10 * time.Minute))
+	if d := sg.Position.DistanceTo(kp.Position); d > 100 {
+		t.Errorf("SGP4 vs converted elements differ by %v km after 10 min", d)
+	}
+}

@@ -1,0 +1,250 @@
+package orbit
+
+import (
+	"time"
+
+	"spacedc/internal/vecmath"
+)
+
+// Window is a contiguous interval during which a visibility condition holds.
+type Window struct {
+	Start, End time.Time
+}
+
+// Duration returns the window length.
+func (w Window) Duration() time.Duration { return w.End.Sub(w.Start) }
+
+// Condition is a time-dependent predicate, e.g. "satellite above 10°
+// elevation from this ground station" or "LOS exists between satellites".
+type Condition func(t time.Time) (bool, error)
+
+// FindWindows scans [start, start+span] with the given coarse step and
+// refines each transition by bisection to within tol, returning all windows
+// where cond holds. This is the numerical in-view-period method of Lawton
+// (1987): coarse sampling assumes the condition doesn't flicker faster than
+// the step.
+func FindWindows(cond Condition, start time.Time, span, step, tol time.Duration) ([]Window, error) {
+	if step <= 0 {
+		step = 30 * time.Second
+	}
+	if tol <= 0 {
+		tol = time.Second
+	}
+	end := start.Add(span)
+
+	var windows []Window
+	prevT := start
+	prev, err := cond(prevT)
+	if err != nil {
+		return nil, err
+	}
+	var openStart time.Time
+	open := prev
+	if open {
+		openStart = start
+	}
+
+	for t := start.Add(step); !t.After(end); t = t.Add(step) {
+		cur, err := cond(t)
+		if err != nil {
+			return nil, err
+		}
+		if cur != prev {
+			cross, err := bisectTransition(cond, prevT, t, prev, tol)
+			if err != nil {
+				return nil, err
+			}
+			if cur {
+				openStart = cross
+				open = true
+			} else {
+				windows = append(windows, Window{Start: openStart, End: cross})
+				open = false
+			}
+		}
+		prev, prevT = cur, t
+	}
+	if open {
+		windows = append(windows, Window{Start: openStart, End: end})
+	}
+	return windows, nil
+}
+
+// bisectTransition locates the condition flip between t0 (state s0) and t1
+// (state !s0) to within tol.
+func bisectTransition(cond Condition, t0, t1 time.Time, s0 bool, tol time.Duration) (time.Time, error) {
+	for t1.Sub(t0) > tol {
+		mid := t0.Add(t1.Sub(t0) / 2)
+		s, err := cond(mid)
+		if err != nil {
+			return time.Time{}, err
+		}
+		if s == s0 {
+			t0 = mid
+		} else {
+			t1 = mid
+		}
+	}
+	return t1, nil
+}
+
+// GroundStationVisibility returns a Condition that is true when prop's
+// satellite is above minElevRad as seen from the geodetic site.
+func GroundStationVisibility(prop Propagator, site Geodetic, minElevRad float64) Condition {
+	siteECEF := site.ECEF()
+	return func(t time.Time) (bool, error) {
+		s, err := prop.State(t)
+		if err != nil {
+			return false, err
+		}
+		satECEF := ECIToECEF(s.Position, t)
+		return ElevationAngle(siteECEF, satECEF) >= minElevRad, nil
+	}
+}
+
+// InterSatelliteVisibility returns a Condition that is true when the two
+// satellites have line of sight not blocked by Earth (plus the atmospheric
+// grazing margin grazeKm).
+func InterSatelliteVisibility(a, b Propagator, grazeKm float64) Condition {
+	return func(t time.Time) (bool, error) {
+		sa, err := a.State(t)
+		if err != nil {
+			return false, err
+		}
+		sb, err := b.State(t)
+		if err != nil {
+			return false, err
+		}
+		return LineOfSight(sa.Position, sb.Position, grazeKm), nil
+	}
+}
+
+// ContactStats summarizes ground-contact opportunity for one satellite and
+// a set of stations over an analysis span.
+type ContactStats struct {
+	Windows      []Window
+	TotalContact time.Duration
+	PerRevAvg    time.Duration // average contact time per orbital revolution
+}
+
+// ContactTime computes visibility windows from prop to each site (any site
+// counts — overlapping windows from different stations are merged) and
+// averages contact per revolution using the orbit period.
+func ContactTime(prop Propagator, sites []Geodetic, minElevRad float64, start time.Time, span time.Duration, period time.Duration) (ContactStats, error) {
+	var all []Window
+	for _, site := range sites {
+		w, err := FindWindows(GroundStationVisibility(prop, site, minElevRad), start, span, 30*time.Second, time.Second)
+		if err != nil {
+			return ContactStats{}, err
+		}
+		all = append(all, w...)
+	}
+	merged := MergeWindows(all)
+	var total time.Duration
+	for _, w := range merged {
+		total += w.Duration()
+	}
+	revs := float64(span) / float64(period)
+	stats := ContactStats{Windows: merged, TotalContact: total}
+	if revs > 0 {
+		stats.PerRevAvg = time.Duration(float64(total) / revs)
+	}
+	return stats, nil
+}
+
+// MergeWindows merges overlapping or touching windows and returns them
+// sorted by start time.
+func MergeWindows(ws []Window) []Window {
+	if len(ws) == 0 {
+		return nil
+	}
+	sorted := make([]Window, len(ws))
+	copy(sorted, ws)
+	// Insertion sort: window lists are short.
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].Start.Before(sorted[j-1].Start); j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	out := []Window{sorted[0]}
+	for _, w := range sorted[1:] {
+		last := &out[len(out)-1]
+		if !w.Start.After(last.End) {
+			if w.End.After(last.End) {
+				last.End = w.End
+			}
+			continue
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// CoverageGap reports the longest interval within [start, start+span] in
+// which cond is false, scanning at the given step (no refinement). A zero
+// result means cond held at every sample.
+func CoverageGap(cond Condition, start time.Time, span, step time.Duration) (time.Duration, error) {
+	if step <= 0 {
+		step = 30 * time.Second
+	}
+	var longest, current time.Duration
+	for dt := time.Duration(0); dt <= span; dt += step {
+		ok, err := cond(start.Add(dt))
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			current = 0
+			continue
+		}
+		current += step
+		if current > longest {
+			longest = current
+		}
+	}
+	return longest, nil
+}
+
+// AnyVisible returns a Condition true when at least one of the targets has
+// line of sight to the observer satellite (used for the GEO SµDC coverage
+// experiment: every EO satellite must see ≥1 of the 3 GEO SµDCs).
+func AnyVisible(observer Propagator, targets []Propagator, grazeKm float64) Condition {
+	return func(t time.Time) (bool, error) {
+		so, err := observer.State(t)
+		if err != nil {
+			return false, err
+		}
+		for _, tgt := range targets {
+			st, err := tgt.State(t)
+			if err != nil {
+				return false, err
+			}
+			if LineOfSight(so.Position, st.Position, grazeKm) {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+}
+
+// SlantRangeKm returns the instantaneous distance between two propagators'
+// satellites at time t, in km.
+func SlantRangeKm(a, b Propagator, t time.Time) (float64, error) {
+	sa, err := a.State(t)
+	if err != nil {
+		return 0, err
+	}
+	sb, err := b.State(t)
+	if err != nil {
+		return 0, err
+	}
+	return sa.Position.DistanceTo(sb.Position), nil
+}
+
+// FixedPoint is a Propagator for a motionless ECI point — useful in tests.
+type FixedPoint struct{ Pos vecmath.Vec3 }
+
+// State implements Propagator.
+func (f FixedPoint) State(time.Time) (State, error) {
+	return State{Position: f.Pos}, nil
+}

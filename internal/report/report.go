@@ -1,0 +1,104 @@
+// Package report renders experiment results as aligned text tables and
+// CSV, the output format of the sudcsim experiment runner and the
+// EXPERIMENTS.md record.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table is a titled grid of results.
+type Table struct {
+	ID      string // experiment id, e.g. "fig9"
+	Title   string
+	Note    string // assumptions, substitutions, caveats
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row, stringifying each cell with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// formatFloat renders floats compactly: integers without decimals, small
+// values with 4 significant digits, large ones in scientific notation.
+func formatFloat(v float64) string {
+	if v != 0 && (v >= 1e7 || v <= -1e7 || (v < 1e-3 && v > -1e-3)) {
+		return fmt.Sprintf("%.3e", v)
+	}
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// Render writes the table as aligned text.
+func (t Table) Render(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title); err != nil {
+			return err
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if len(t.Columns) > 0 {
+		fmt.Fprintln(tw, strings.Join(t.Columns, "\t"))
+		underline := make([]string, len(t.Columns))
+		for i, c := range t.Columns {
+			underline[i] = strings.Repeat("-", len(c))
+		}
+		fmt.Fprintln(tw, strings.Join(underline, "\t"))
+	}
+	for _, row := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if t.Note != "" {
+		if _, err := fmt.Fprintf(w, "note: %s\n", t.Note); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// CSV writes the table as comma-separated values with a header row.
+func (t Table) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if len(t.Columns) > 0 {
+		if err := cw.Write(t.Columns); err != nil {
+			return err
+		}
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// String renders the table to a string (for tests and logs).
+func (t Table) String() string {
+	var sb strings.Builder
+	_ = t.Render(&sb)
+	return sb.String()
+}

@@ -1,0 +1,71 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() Table {
+	t := Table{
+		ID:      "fig9",
+		Title:   "SµDCs needed",
+		Note:    "RTX 3090, 4 kW",
+		Columns: []string{"app", "3 m", "1 m"},
+	}
+	t.AddRow("FD", 1, 3)
+	t.AddRow("TM", 1.0, 2.5)
+	t.AddRow("big", 1.23e9, 0.0001)
+	return t
+}
+
+func TestRenderContainsAllCells(t *testing.T) {
+	out := sample().String()
+	for _, want := range []string{"fig9", "SµDCs needed", "app", "FD", "TM", "2.5", "note: RTX 3090"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	cases := map[float64]string{
+		1:      "1",
+		2.5:    "2.5",
+		1.23e9: "1.230e+09",
+		0.0001: "1.000e-04",
+		64:     "64",
+	}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := sample().CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV has %d lines, want header + 3 rows", len(lines))
+	}
+	if lines[0] != "app,3 m,1 m" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "FD,1,3") {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	empty := Table{ID: "x"}
+	if out := empty.String(); out == "" {
+		t.Error("even empty tables render a frame")
+	}
+	var sb strings.Builder
+	if err := empty.CSV(&sb); err != nil {
+		t.Errorf("empty CSV errored: %v", err)
+	}
+}

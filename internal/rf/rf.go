@@ -1,0 +1,204 @@
+// Package rf models radio-frequency satellite communication: Shannon
+// channel capacity, antenna gain, free-space path loss, full link budgets,
+// and the paper's Dove X-band baseline channel. It backs the paper's
+// argument (§4, Fig 7) that RF downlink scaling is bandwidth limited:
+// capacity grows linearly with bandwidth — which regulators cap — but only
+// logarithmically with transmit power or antenna size.
+package rf
+
+import (
+	"fmt"
+	"math"
+
+	"spacedc/internal/units"
+)
+
+// Physical constants.
+const (
+	// SpeedOfLightMS is c in m/s.
+	SpeedOfLightMS = 299792458.0
+	// BoltzmannJPerK is k_B in J/K.
+	BoltzmannJPerK = 1.380649e-23
+)
+
+// ShannonCapacity returns the additive-white-Gaussian-noise channel
+// capacity C = B·log2(1 + SNR) for bandwidth b and linear (not dB) snr.
+func ShannonCapacity(b units.Frequency, snr float64) units.DataRate {
+	if snr < 0 {
+		snr = 0
+	}
+	return units.DataRate(float64(b) * math.Log2(1+snr))
+}
+
+// RequiredSNR inverts Shannon: the linear SNR needed for capacity c over
+// bandwidth b. It grows exponentially with c/b — the paper's core point
+// about the bandwidth-limited regime.
+func RequiredSNR(c units.DataRate, b units.Frequency) float64 {
+	if b <= 0 {
+		return math.Inf(1)
+	}
+	return math.Exp2(float64(c)/float64(b)) - 1
+}
+
+// DB converts a linear power ratio to decibels.
+func DB(linear float64) float64 { return 10 * math.Log10(linear) }
+
+// FromDB converts decibels to a linear power ratio.
+func FromDB(db float64) float64 { return math.Pow(10, db/10) }
+
+// ParabolicGain returns the boresight gain (linear) of a parabolic dish of
+// the given diameter at frequency f with aperture efficiency eff
+// (typically 0.55–0.70): G = eff·(πD/λ)².
+func ParabolicGain(diameterM float64, f units.Frequency, eff float64) float64 {
+	if diameterM <= 0 || f <= 0 {
+		return 0
+	}
+	lambda := SpeedOfLightMS / float64(f)
+	x := math.Pi * diameterM / lambda
+	return eff * x * x
+}
+
+// FreeSpacePathLoss returns the linear free-space path loss (≥ 1) over
+// distanceM meters at frequency f: (4πd/λ)².
+func FreeSpacePathLoss(distanceM float64, f units.Frequency) float64 {
+	if distanceM <= 0 || f <= 0 {
+		return 1
+	}
+	lambda := SpeedOfLightMS / float64(f)
+	x := 4 * math.Pi * distanceM / lambda
+	return x * x
+}
+
+// LinkBudget describes one directional RF link.
+type LinkBudget struct {
+	TxPower    units.Power     // transmitter RF output power
+	TxGain     float64         // linear transmit antenna gain
+	RxGain     float64         // linear receive antenna gain
+	Frequency  units.Frequency // carrier frequency
+	DistanceM  float64         // path length in meters
+	NoiseTempK float64         // receive system noise temperature
+	Bandwidth  units.Frequency // channel bandwidth
+	// Efficiency derates Shannon capacity for real modulation/coding
+	// (0 < Efficiency ≤ 1). Zero means 1.
+	Efficiency float64
+}
+
+// Validate checks the budget for physical plausibility.
+func (lb LinkBudget) Validate() error {
+	if lb.TxPower <= 0 {
+		return fmt.Errorf("rf: non-positive tx power %v", lb.TxPower)
+	}
+	if lb.Frequency <= 0 || lb.Bandwidth <= 0 {
+		return fmt.Errorf("rf: non-positive frequency %v or bandwidth %v", lb.Frequency, lb.Bandwidth)
+	}
+	if lb.DistanceM <= 0 {
+		return fmt.Errorf("rf: non-positive distance %v", lb.DistanceM)
+	}
+	if lb.NoiseTempK <= 0 {
+		return fmt.Errorf("rf: non-positive noise temperature %v", lb.NoiseTempK)
+	}
+	if lb.Efficiency < 0 || lb.Efficiency > 1 {
+		return fmt.Errorf("rf: efficiency %v outside [0, 1]", lb.Efficiency)
+	}
+	return nil
+}
+
+// ReceivedPower returns the power at the receiver input.
+func (lb LinkBudget) ReceivedPower() units.Power {
+	loss := FreeSpacePathLoss(lb.DistanceM, lb.Frequency)
+	return units.Power(float64(lb.TxPower) * lb.TxGain * lb.RxGain / loss)
+}
+
+// NoisePower returns the thermal noise power k·T·B in the channel.
+func (lb LinkBudget) NoisePower() units.Power {
+	return units.Power(BoltzmannJPerK * lb.NoiseTempK * float64(lb.Bandwidth))
+}
+
+// SNR returns the linear signal-to-noise ratio of the link.
+func (lb LinkBudget) SNR() float64 {
+	n := lb.NoisePower()
+	if n <= 0 {
+		return math.Inf(1)
+	}
+	return float64(lb.ReceivedPower()) / float64(n)
+}
+
+// Capacity returns the achievable data rate: Shannon capacity times the
+// implementation efficiency.
+func (lb LinkBudget) Capacity() units.DataRate {
+	eff := lb.Efficiency
+	if eff == 0 {
+		eff = 1
+	}
+	return units.DataRate(eff * float64(ShannonCapacity(lb.Bandwidth, lb.SNR())))
+}
+
+// Dove baseline channel parameters (Devaraj et al., "Dove High Speed
+// Downlink System"): a 96 MHz X-band channel delivering 220 Mbit/s with
+// SNR ≈ 19 at the ground station.
+const (
+	DoveBandwidth = 96 * units.Megahertz
+	DoveSNR       = 19.0
+	DoveRate      = 220 * units.Mbps
+)
+
+// DoveEfficiency is the modulation/coding efficiency implied by the Dove
+// numbers: 220 Mb/s over the 415 Mb/s Shannon limit of a 96 MHz, SNR-19
+// channel.
+func DoveEfficiency() float64 {
+	shannon := ShannonCapacity(DoveBandwidth, DoveSNR)
+	return float64(DoveRate) / float64(shannon)
+}
+
+// ScaledChannel models the paper's Fig 7 experiment: take the Dove baseline
+// channel and scale its SNR by increasing transmit power (SNR ∝ P) or
+// antenna aperture (SNR ∝ D²), keeping the regulated 96 MHz bandwidth
+// fixed.
+type ScaledChannel struct {
+	// BasePower is the reference transmit power producing DoveSNR.
+	BasePower units.Power
+	// BaseDishM is the reference antenna diameter producing DoveSNR.
+	BaseDishM float64
+}
+
+// DefaultScaledChannel uses a 5 W transmitter and a 0.5 m antenna as the
+// Dove-class baseline.
+func DefaultScaledChannel() ScaledChannel {
+	return ScaledChannel{BasePower: 5 * units.Watt, BaseDishM: 0.5}
+}
+
+// CapacityAtPower returns the channel capacity when the transmit power is
+// raised to p with everything else fixed.
+func (sc ScaledChannel) CapacityAtPower(p units.Power) units.DataRate {
+	if p <= 0 {
+		return 0
+	}
+	snr := DoveSNR * float64(p) / float64(sc.BasePower)
+	return units.DataRate(DoveEfficiency() * float64(ShannonCapacity(DoveBandwidth, snr)))
+}
+
+// CapacityAtDish returns the channel capacity when the antenna diameter is
+// raised to d meters (gain ∝ D²) with everything else fixed.
+func (sc ScaledChannel) CapacityAtDish(dM float64) units.DataRate {
+	if dM <= 0 {
+		return 0
+	}
+	ratio := dM / sc.BaseDishM
+	snr := DoveSNR * ratio * ratio
+	return units.DataRate(DoveEfficiency() * float64(ShannonCapacity(DoveBandwidth, snr)))
+}
+
+// PowerForCapacity inverts CapacityAtPower: the transmit power needed to
+// reach capacity c. Returns +Inf if c is unreachable… it never is under
+// Shannon, but the answer grows exponentially, which is the point.
+func (sc ScaledChannel) PowerForCapacity(c units.DataRate) units.Power {
+	snr := RequiredSNR(units.DataRate(float64(c)/DoveEfficiency()), DoveBandwidth)
+	return units.Power(float64(sc.BasePower) * snr / DoveSNR)
+}
+
+// DishForCapacity inverts CapacityAtDish: the dish diameter in meters
+// needed to reach capacity c.
+func (sc ScaledChannel) DishForCapacity(c units.DataRate) float64 {
+	snr := RequiredSNR(units.DataRate(float64(c)/DoveEfficiency()), DoveBandwidth)
+	return sc.BaseDishM * math.Sqrt(snr/DoveSNR)
+}

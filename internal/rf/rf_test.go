@@ -1,0 +1,218 @@
+package rf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"spacedc/internal/units"
+)
+
+func TestShannonCapacityKnownValues(t *testing.T) {
+	// B=1 Hz, SNR=1 → 1 bit/s; SNR=3 → 2 bit/s.
+	if got := ShannonCapacity(1, 1); math.Abs(float64(got)-1) > 1e-12 {
+		t.Errorf("C(1 Hz, SNR 1) = %v, want 1", float64(got))
+	}
+	if got := ShannonCapacity(1, 3); math.Abs(float64(got)-2) > 1e-12 {
+		t.Errorf("C(1 Hz, SNR 3) = %v, want 2", float64(got))
+	}
+	// Dove: 96 MHz at SNR 19 → 96e6·log2(20) ≈ 415 Mb/s Shannon limit.
+	c := ShannonCapacity(DoveBandwidth, DoveSNR)
+	if math.Abs(float64(c)-414.9e6)/414.9e6 > 0.01 {
+		t.Errorf("Dove Shannon limit = %v, want ≈415 Mb/s", float64(c))
+	}
+	// Negative SNR clamps to zero capacity.
+	if got := ShannonCapacity(1e6, -5); got != 0 {
+		t.Errorf("negative SNR capacity = %v, want 0", float64(got))
+	}
+}
+
+func TestRequiredSNRInverse(t *testing.T) {
+	f := func(cRaw float64) bool {
+		c := units.DataRate(math.Abs(math.Mod(cRaw, 1e9)))
+		b := 96 * units.Megahertz
+		snr := RequiredSNR(c, b)
+		back := ShannonCapacity(b, snr)
+		return math.Abs(float64(back)-float64(c)) <= 1e-6*math.Max(float64(c), 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if !math.IsInf(RequiredSNR(units.Gbps, 0), 1) {
+		t.Error("zero bandwidth should need infinite SNR")
+	}
+}
+
+func TestDBRoundTrip(t *testing.T) {
+	for _, lin := range []float64{0.001, 1, 19, 1e6} {
+		if got := FromDB(DB(lin)); math.Abs(got-lin)/lin > 1e-12 {
+			t.Errorf("dB round trip %v → %v", lin, got)
+		}
+	}
+	if DB(10) != 10 || DB(100) != 20 {
+		t.Error("dB of 10/100 wrong")
+	}
+}
+
+func TestParabolicGain(t *testing.T) {
+	// A 5 m dish at 8.2 GHz X-band with 60% efficiency ≈ 50.5 dBi.
+	g := ParabolicGain(5, 8.2*units.Gigahertz, 0.6)
+	if db := DB(g); math.Abs(db-50.5) > 1.0 {
+		t.Errorf("5 m X-band gain = %v dBi, want ≈50.5", db)
+	}
+	// Gain scales with D².
+	g2 := ParabolicGain(10, 8.2*units.Gigahertz, 0.6)
+	if math.Abs(g2/g-4) > 1e-9 {
+		t.Errorf("doubling diameter scaled gain by %v, want 4", g2/g)
+	}
+	if ParabolicGain(0, units.Gigahertz, 0.6) != 0 || ParabolicGain(1, 0, 0.6) != 0 {
+		t.Error("degenerate gain should be 0")
+	}
+}
+
+func TestFreeSpacePathLoss(t *testing.T) {
+	// 1000 km at 8.2 GHz: FSPL ≈ 170.7 dB.
+	l := FreeSpacePathLoss(1e6, 8.2*units.Gigahertz)
+	if db := DB(l); math.Abs(db-170.7) > 0.5 {
+		t.Errorf("FSPL(1000 km, X-band) = %v dB, want ≈170.7", db)
+	}
+	// Doubling distance adds 6 dB.
+	l2 := FreeSpacePathLoss(2e6, 8.2*units.Gigahertz)
+	if math.Abs(DB(l2)-DB(l)-6.02) > 0.01 {
+		t.Errorf("distance doubling added %v dB, want 6.02", DB(l2)-DB(l))
+	}
+	if FreeSpacePathLoss(0, units.Gigahertz) != 1 {
+		t.Error("zero distance loss should be 1")
+	}
+}
+
+func TestLinkBudgetEndToEnd(t *testing.T) {
+	// A Dove-like downlink: 5 W, modest satellite antenna, 5 m ground
+	// dish, 600 km slant range. The SNR should come out in the tens.
+	lb := LinkBudget{
+		TxPower:    5 * units.Watt,
+		TxGain:     FromDB(6),
+		RxGain:     ParabolicGain(5, 8.2*units.Gigahertz, 0.6),
+		Frequency:  8.2 * units.Gigahertz,
+		DistanceM:  600e3,
+		NoiseTempK: 290,
+		Bandwidth:  DoveBandwidth,
+		Efficiency: DoveEfficiency(),
+	}
+	if err := lb.Validate(); err != nil {
+		t.Fatalf("valid budget rejected: %v", err)
+	}
+	snr := lb.SNR()
+	if snr < 5 || snr > 500 {
+		t.Errorf("SNR = %v, want plausible double digits", snr)
+	}
+	c := lb.Capacity()
+	if c < 100*units.Mbps || c > 2*units.Gbps {
+		t.Errorf("capacity = %v, want few hundred Mb/s", c)
+	}
+	// Received power must be far below transmit power.
+	if float64(lb.ReceivedPower()) >= float64(lb.TxPower) {
+		t.Error("received power should be attenuated")
+	}
+}
+
+func TestLinkBudgetValidation(t *testing.T) {
+	good := LinkBudget{TxPower: 1, TxGain: 1, RxGain: 1, Frequency: 1e9,
+		DistanceM: 1e5, NoiseTempK: 290, Bandwidth: 1e6}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for name, mutate := range map[string]func(*LinkBudget){
+		"zero power":     func(l *LinkBudget) { l.TxPower = 0 },
+		"zero freq":      func(l *LinkBudget) { l.Frequency = 0 },
+		"zero bandwidth": func(l *LinkBudget) { l.Bandwidth = 0 },
+		"zero distance":  func(l *LinkBudget) { l.DistanceM = 0 },
+		"zero noise":     func(l *LinkBudget) { l.NoiseTempK = 0 },
+		"bad efficiency": func(l *LinkBudget) { l.Efficiency = 1.5 },
+	} {
+		lb := good
+		mutate(&lb)
+		if err := lb.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestDoveEfficiencyCalibration(t *testing.T) {
+	eff := DoveEfficiency()
+	if eff <= 0 || eff > 1 {
+		t.Fatalf("Dove efficiency = %v, want (0, 1]", eff)
+	}
+	// The calibrated channel reproduces exactly 220 Mb/s at baseline.
+	sc := DefaultScaledChannel()
+	if got := sc.CapacityAtPower(sc.BasePower); math.Abs(float64(got-DoveRate)) > 1 {
+		t.Errorf("baseline capacity = %v, want 220 Mb/s", got)
+	}
+	if got := sc.CapacityAtDish(sc.BaseDishM); math.Abs(float64(got-DoveRate)) > 1 {
+		t.Errorf("baseline dish capacity = %v, want 220 Mb/s", got)
+	}
+}
+
+func TestFig7AntennaScalingIsLogarithmic(t *testing.T) {
+	sc := DefaultScaledChannel()
+	// 400× the power buys far less than 400× the capacity.
+	c1 := sc.CapacityAtPower(sc.BasePower)
+	c400 := sc.CapacityAtPower(units.Power(400 * float64(sc.BasePower)))
+	gain := float64(c400) / float64(c1)
+	if gain > 4 {
+		t.Errorf("400× power gave %v× capacity; should be ≪ 400 (bandwidth limited)", gain)
+	}
+	if c400 <= c1 {
+		t.Error("more power must give more capacity")
+	}
+}
+
+func TestFig7TwoKilowattFallsShort(t *testing.T) {
+	// The paper: a 2 kW input power or a 30 m dish both fall far short of
+	// the 1 m global-coverage downlink requirement (~141 Gb/s).
+	sc := DefaultScaledChannel()
+	oneMeterReq := 141 * units.Gbps
+
+	at2kW := sc.CapacityAtPower(2 * units.Kilowatt)
+	if float64(at2kW) > 0.05*float64(oneMeterReq) {
+		t.Errorf("2 kW capacity %v not far short of %v", at2kW, oneMeterReq)
+	}
+	at30m := sc.CapacityAtDish(30)
+	if float64(at30m) > 0.05*float64(oneMeterReq) {
+		t.Errorf("30 m dish capacity %v not far short of %v", at30m, oneMeterReq)
+	}
+}
+
+func TestPowerForCapacityGrowsExponentially(t *testing.T) {
+	sc := DefaultScaledChannel()
+	p1 := sc.PowerForCapacity(500 * units.Mbps)
+	p2 := sc.PowerForCapacity(1000 * units.Mbps)
+	p4 := sc.PowerForCapacity(2000 * units.Mbps)
+	// Each capacity doubling must multiply power by more than 2×
+	// (exponential wall).
+	if float64(p2)/float64(p1) < 2 || float64(p4)/float64(p2) < 4 {
+		t.Errorf("power scaling %v → %v → %v not exponential", p1, p2, p4)
+	}
+	// Round trip.
+	if got := sc.CapacityAtPower(p2); math.Abs(float64(got)-1000e6)/1000e6 > 1e-9 {
+		t.Errorf("PowerForCapacity round trip = %v, want 1 Gb/s", got)
+	}
+}
+
+func TestDishForCapacityRoundTrip(t *testing.T) {
+	sc := DefaultScaledChannel()
+	d := sc.DishForCapacity(800 * units.Mbps)
+	if got := sc.CapacityAtDish(d); math.Abs(float64(got)-800e6)/800e6 > 1e-9 {
+		t.Errorf("DishForCapacity round trip = %v, want 800 Mb/s", got)
+	}
+	if d <= sc.BaseDishM {
+		t.Error("reaching above-baseline capacity needs a bigger dish")
+	}
+}
+
+func TestScaledChannelDegenerates(t *testing.T) {
+	sc := DefaultScaledChannel()
+	if sc.CapacityAtPower(0) != 0 || sc.CapacityAtDish(0) != 0 {
+		t.Error("zero power/dish should have zero capacity")
+	}
+}

@@ -1,0 +1,68 @@
+package sched
+
+import (
+	"fmt"
+
+	"spacedc/internal/apps"
+	"spacedc/internal/gpusim"
+)
+
+// DeviceProcessor adapts a gpusim performance model to the scheduler's
+// Processor interface: one queued frame maps to one batch item, so the
+// calibrated batch-response curve (efficiency peaks at b*, power saturates)
+// directly drives the simulation.
+type DeviceProcessor struct {
+	Model *gpusim.Model
+	// Replicas is the number of identical devices ganged together (a
+	// 4 kW SµDC carries ~11 RTX 3090s); throughput scales linearly.
+	// Zero means 1.
+	Replicas int
+}
+
+// NewDeviceProcessor builds a processor for app on dev with the given
+// replica count.
+func NewDeviceProcessor(app apps.ID, dev gpusim.Device, replicas int) (*DeviceProcessor, error) {
+	m, err := gpusim.NewModel(app, dev)
+	if err != nil {
+		return nil, err
+	}
+	if replicas < 0 {
+		return nil, fmt.Errorf("sched: negative replica count %d", replicas)
+	}
+	return &DeviceProcessor{Model: m, Replicas: replicas}, nil
+}
+
+// replicas returns the effective gang size.
+func (d *DeviceProcessor) replicas() float64 {
+	if d.Replicas <= 0 {
+		return 1
+	}
+	return float64(d.Replicas)
+}
+
+// Process implements Processor: the batch is spread evenly over the gang,
+// each device running at the per-device batch's operating point.
+func (d *DeviceProcessor) Process(frames int, pixels float64) (seconds, joules float64) {
+	if frames <= 0 || pixels <= 0 {
+		return 0, 0
+	}
+	r := d.replicas()
+	perDevBatch := float64(frames) / r
+	rate := d.Model.PixelRate(perDevBatch) * r
+	if rate <= 0 {
+		return 0, 0
+	}
+	seconds = pixels / rate
+	joules = seconds * float64(d.Model.Power(perDevBatch)) * r
+	return seconds, joules
+}
+
+// OptimalTargetBatch returns the gang-wide batch size that hits each
+// device's energy-efficiency optimum.
+func (d *DeviceProcessor) OptimalTargetBatch() int {
+	b := int(d.Model.OptimalBatch() * d.replicas())
+	if b < 1 {
+		b = 1
+	}
+	return b
+}

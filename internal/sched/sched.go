@@ -1,0 +1,262 @@
+// Package sched is a discrete-event simulator of a space microdatacenter's
+// processing pipeline: frames arrive from the constellation over ISLs,
+// queue on board, are batched, and are processed by a compute device whose
+// throughput, power, and batch response come from the gpusim models.
+//
+// It puts numbers behind two of the paper's qualitative arguments: the §6
+// claim that SµDCs act as data integrators (absorbing per-satellite
+// generation variation that would force worst-case design on homogeneous
+// constellations), and the §9 latency/energy trade — batching harder is
+// more energy-efficient but holds frames longer, which only
+// latency-insensitive applications can accept.
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Processor abstracts the compute device: the time and energy to run one
+// batch. DeviceProcessor adapts a gpusim model; tests use synthetic ones.
+type Processor interface {
+	// Process returns the wall-clock seconds and energy in joules to
+	// process a batch of `frames` frames totaling `pixels` pixels.
+	Process(frames int, pixels float64) (seconds, joules float64)
+}
+
+// Config describes one simulation run.
+type Config struct {
+	// Satellites is the number of EO satellites feeding the SµDC.
+	Satellites int
+	// FramePeriodSec is the ground-track frame period (paper: 1.5 s).
+	FramePeriodSec float64
+	// PixelsPerFrame is the size of one frame at the operating
+	// resolution.
+	PixelsPerFrame float64
+	// KeepProb returns the probability that a satellite's frame survives
+	// early discard at simulation time t. Nil keeps everything. This is
+	// where per-satellite variation (ocean vs land, day vs night) enters.
+	KeepProb func(sat int, t float64) float64
+	// QueueLimit caps the on-board frame queue; arrivals beyond it are
+	// dropped (and counted). Zero means 4× Satellites.
+	QueueLimit int
+	// TargetBatch is the batch size the scheduler prefers to form.
+	TargetBatch int
+	// MaxBatch caps a single batch. Zero means TargetBatch.
+	MaxBatch int
+	// MaxWaitSec bounds how long the oldest queued frame may wait before
+	// the scheduler launches a partial batch. Zero means no bound.
+	MaxWaitSec float64
+	// DurationSec is the simulated span.
+	DurationSec float64
+	// Seed drives the discard randomness.
+	Seed int64
+}
+
+// Validate checks the config.
+func (c Config) Validate() error {
+	if c.Satellites <= 0 {
+		return fmt.Errorf("sched: non-positive satellite count %d", c.Satellites)
+	}
+	if c.FramePeriodSec <= 0 || c.PixelsPerFrame <= 0 || c.DurationSec <= 0 {
+		return fmt.Errorf("sched: non-positive period/pixels/duration")
+	}
+	if c.TargetBatch <= 0 {
+		return fmt.Errorf("sched: non-positive target batch %d", c.TargetBatch)
+	}
+	if c.MaxBatch != 0 && c.MaxBatch < c.TargetBatch {
+		return fmt.Errorf("sched: max batch %d below target %d", c.MaxBatch, c.TargetBatch)
+	}
+	if c.MaxWaitSec < 0 {
+		return fmt.Errorf("sched: negative max wait")
+	}
+	return nil
+}
+
+// Stats summarizes one run.
+type Stats struct {
+	Arrived   int
+	Processed int
+	Dropped   int
+	LeftOver  int // still queued or in flight at the end
+
+	MeanLatencySec float64 // arrival → batch completion, processed frames
+	P95LatencySec  float64
+	MaxLatencySec  float64
+
+	BusySec     float64 // device busy time
+	Utilization float64 // BusySec / duration
+	EnergyJ     float64
+	MeanBatch   float64 // average formed batch size
+	Batches     int
+}
+
+// EnergyPerFrameJ returns average energy per processed frame.
+func (s Stats) EnergyPerFrameJ() float64 {
+	if s.Processed == 0 {
+		return 0
+	}
+	return s.EnergyJ / float64(s.Processed)
+}
+
+// event kinds for the simulation heap.
+const (
+	evArrival = iota
+	evServiceDone
+)
+
+type event struct {
+	time float64
+	kind int
+	sat  int // arrival source
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].time < h[j].time }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Simulate runs the discrete-event simulation and returns its statistics.
+func Simulate(cfg Config, proc Processor) (Stats, error) {
+	if err := cfg.Validate(); err != nil {
+		return Stats{}, err
+	}
+	if proc == nil {
+		return Stats{}, fmt.Errorf("sched: nil processor")
+	}
+	maxBatch := cfg.MaxBatch
+	if maxBatch == 0 {
+		maxBatch = cfg.TargetBatch
+	}
+	queueLimit := cfg.QueueLimit
+	if queueLimit == 0 {
+		queueLimit = 4 * cfg.Satellites
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	var h eventHeap
+	// Stagger satellite frame phases uniformly across the period, as a
+	// formation flying over adjacent ground frames would be.
+	for s := 0; s < cfg.Satellites; s++ {
+		phase := cfg.FramePeriodSec * float64(s) / float64(cfg.Satellites)
+		heap.Push(&h, event{time: phase, kind: evArrival, sat: s})
+	}
+
+	var (
+		stats     Stats
+		queue     []float64 // arrival times of queued frames (FIFO)
+		busy      bool
+		latencies []float64
+		batchSum  int
+	)
+
+	// startBatch launches processing of up to maxBatch queued frames.
+	startBatch := func(now float64) {
+		n := len(queue)
+		if n > maxBatch {
+			n = maxBatch
+		}
+		if n == 0 {
+			return
+		}
+		secs, joules := proc.Process(n, float64(n)*cfg.PixelsPerFrame)
+		if secs < 0 || math.IsNaN(secs) || math.IsInf(secs, 0) {
+			secs = 0
+		}
+		done := now + secs
+		for _, arr := range queue[:n] {
+			latencies = append(latencies, done-arr)
+		}
+		queue = queue[n:]
+		stats.Processed += n
+		stats.EnergyJ += joules
+		stats.BusySec += secs
+		stats.Batches++
+		batchSum += n
+		busy = true
+		heap.Push(&h, event{time: done, kind: evServiceDone})
+	}
+
+	// shouldLaunch applies the batching policy.
+	shouldLaunch := func(now float64) bool {
+		if len(queue) == 0 {
+			return false
+		}
+		if len(queue) >= cfg.TargetBatch {
+			return true
+		}
+		return cfg.MaxWaitSec > 0 && now-queue[0] >= cfg.MaxWaitSec
+	}
+
+	for h.Len() > 0 {
+		ev := heap.Pop(&h).(event)
+		if ev.time > cfg.DurationSec {
+			break
+		}
+		now := ev.time
+		switch ev.kind {
+		case evArrival:
+			// Schedule this satellite's next frame.
+			heap.Push(&h, event{time: now + cfg.FramePeriodSec, kind: evArrival, sat: ev.sat})
+			keep := 1.0
+			if cfg.KeepProb != nil {
+				keep = cfg.KeepProb(ev.sat, now)
+			}
+			if rng.Float64() >= keep {
+				break // early-discarded on the EO satellite
+			}
+			stats.Arrived++
+			if len(queue) >= queueLimit {
+				stats.Dropped++
+				break
+			}
+			queue = append(queue, now)
+		case evServiceDone:
+			busy = false
+		}
+		if !busy && shouldLaunch(now) {
+			startBatch(now)
+		}
+	}
+
+	stats.LeftOver = stats.Arrived - stats.Processed - stats.Dropped
+	stats.Utilization = stats.BusySec / cfg.DurationSec
+	if stats.Utilization > 1 {
+		stats.Utilization = 1
+	}
+	if stats.Batches > 0 {
+		stats.MeanBatch = float64(batchSum) / float64(stats.Batches)
+	}
+	if len(latencies) > 0 {
+		stats.MeanLatencySec, stats.P95LatencySec, stats.MaxLatencySec = latencyStats(latencies)
+	}
+	return stats, nil
+}
+
+// latencyStats computes mean, p95, and max of a sample.
+func latencyStats(xs []float64) (mean, p95, max float64) {
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	mean = sum / float64(len(sorted))
+	idx := int(0.95 * float64(len(sorted)-1))
+	p95 = sorted[idx]
+	max = sorted[len(sorted)-1]
+	return
+}

@@ -1,0 +1,31 @@
+package sched
+
+import (
+	"testing"
+
+	"spacedc/internal/apps"
+	"spacedc/internal/gpusim"
+)
+
+func BenchmarkSimulateHour(b *testing.B) {
+	proc, err := NewDeviceProcessor(apps.FloodDetection, gpusim.RTX3090, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{
+		Satellites:     64,
+		FramePeriodSec: 1.5,
+		PixelsPerFrame: 8.8e6,
+		TargetBatch:    64,
+		MaxWaitSec:     10,
+		DurationSec:    3600,
+		QueueLimit:     512,
+		Seed:           1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(cfg, proc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
