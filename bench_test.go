@@ -7,6 +7,7 @@
 package spacedc_test
 
 import (
+	"math"
 	"strconv"
 	"strings"
 	"testing"
@@ -15,7 +16,10 @@ import (
 	"spacedc/internal/core"
 	"spacedc/internal/experiments"
 	"spacedc/internal/gpusim"
+	"spacedc/internal/isl"
+	"spacedc/internal/netsim"
 	"spacedc/internal/report"
+	"spacedc/internal/units"
 )
 
 // run executes one registered experiment b.N times and returns the last
@@ -293,6 +297,42 @@ func BenchmarkExtLossy(b *testing.B) {
 func BenchmarkExtDetect(b *testing.B) {
 	tables := run(b, "ext-detect")
 	b.ReportMetric(float64(len(tables[0].Rows)), "scenes")
+}
+
+// BenchmarkExtNetsimValidation cross-validates the time-stepped network
+// simulator against the closed-form Table 8 capacity model: the zero-fault
+// max-supportable EO population must land within 10% of K·linkCap/perSatRate
+// for both the ring and the 4-list topology.
+func BenchmarkExtNetsimValidation(b *testing.B) {
+	const (
+		linkCap = units.Gbps
+		perSat  = 250 * units.Mbps
+	)
+	for _, topo := range []isl.Topology{isl.Ring, {K: 4, Split: 1}} {
+		topo := topo
+		b.Run("K"+strconv.Itoa(topo.K), func(b *testing.B) {
+			sc := netsim.Scenario{
+				Name:     "validate",
+				Topology: netsim.TopologySpec{Kind: netsim.ClusterTopology, Sats: topo.K, Cluster: topo, Tech: isl.RFKaBand},
+				PerSat:   perSat,
+				StepSec:  0.1, DurationSec: 60, WarmupSec: 10, Seed: 1,
+			}
+			closed := isl.SupportableEOSats(linkCap, perSat, topo.K)
+			var got int
+			var err error
+			for i := 0; i < b.N; i++ {
+				got, err = netsim.MaxSupportable(sc, closed+4)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if math.Abs(float64(got-closed)) > 0.1*float64(closed) {
+				b.Errorf("K=%d: simulated max %d vs closed form %d (>10%% apart)", topo.K, got, closed)
+			}
+			b.ReportMetric(float64(got), "sim-max-sats")
+			b.ReportMetric(float64(closed), "closed-form-sats")
+		})
+	}
 }
 
 // --- Ablation benches: the design choices DESIGN.md calls out. ---

@@ -112,3 +112,69 @@ func TestInvalidLinksFailSafe(t *testing.T) {
 		t.Error("infeasible link should report zero service")
 	}
 }
+
+func TestZeroAltitudeDeltaFullEffectiveCapacity(t *testing.T) {
+	// Formation flight (zero altitude delta) is the degenerate point of the
+	// dynamic-link model: no drift, infinite pass, full nominal capacity.
+	d := DynamicLink{LowAltKm: 550, HighAltKm: 550, MaxRangeKm: 2000, Tech: Optical10G}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.PassDuration() != time.Duration(math.MaxInt64) {
+		t.Error("zero-delta pass should be the infinite synodic period")
+	}
+	if dc := d.DutyCycle(); dc != 1 {
+		t.Errorf("zero-delta duty cycle = %v, want exactly 1", dc)
+	}
+	if eff := d.EffectiveCapacity(); eff != float64(d.Tech.Capacity) {
+		t.Errorf("zero-delta effective capacity = %v, want nominal %v", eff, float64(d.Tech.Capacity))
+	}
+}
+
+func TestMaxPhaseBoundaryPointingDominatedPass(t *testing.T) {
+	// A range barely above the radial gap pins maxPhase near zero: the
+	// pass exists but is shorter than an optical terminal's pointing time,
+	// so the duty cycle collapses to exactly zero while the RF terminal
+	// (near-instant beamforming) still extracts service from it.
+	gap := DynamicLink{LowAltKm: 550, HighAltKm: 800, MaxRangeKm: 251, Tech: Optical10G}
+	if err := gap.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	phi := gap.maxPhase()
+	if phi <= 0 {
+		t.Fatal("boundary phase should remain positive while range exceeds the gap")
+	}
+	if phi > 0.01 {
+		t.Errorf("boundary phase = %v rad, want near-degenerate (< 0.01)", phi)
+	}
+	if pass := gap.PassDuration(); pass <= 0 {
+		t.Error("boundary pass should be positive")
+	} else if pass.Seconds() > gap.Tech.PointingSeconds {
+		t.Skipf("pass %v longer than pointing %vs; boundary not pointing-dominated", pass, gap.Tech.PointingSeconds)
+	}
+	if dc := gap.DutyCycle(); dc != 0 {
+		t.Errorf("pointing-dominated duty cycle = %v, want exactly 0", dc)
+	}
+	if eff := gap.EffectiveCapacity(); eff != 0 {
+		t.Errorf("pointing-dominated effective capacity = %v, want 0", eff)
+	}
+	rf := gap
+	rf.Tech = RFKaBand
+	if rf.DutyCycle() <= 0 {
+		t.Error("RF terminal should still serve the short pass")
+	}
+}
+
+func TestMaxPhaseMonotonicInRange(t *testing.T) {
+	// Below the Earth-grazing regime, more link range must never shrink
+	// the serviceable phase window.
+	prev := -1.0
+	for _, rng := range []float64{300, 500, 800, 1200, 1600} {
+		d := DynamicLink{LowAltKm: 550, HighAltKm: 800, MaxRangeKm: rng, Tech: Optical10G}
+		phi := d.maxPhase()
+		if phi < prev {
+			t.Errorf("maxPhase(%v km) = %v < maxPhase at shorter range %v", rng, phi, prev)
+		}
+		prev = phi
+	}
+}

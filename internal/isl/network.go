@@ -99,6 +99,28 @@ func BuildCluster(n int, topo Topology, perSat, linkCap units.DataRate) (*Networ
 	return net, nil
 }
 
+// Graph returns independent copies of the node and link sets so consumers
+// (netsim's topology driver in particular) can build their own simulation
+// state from the routed topology without reaching into BuildCluster
+// internals or aliasing the network's slices.
+func (n *Network) Graph() ([]Node, []Link) {
+	nodes := make([]Node, len(n.Nodes))
+	copy(nodes, n.Nodes)
+	links := make([]Link, len(n.Links))
+	copy(links, n.Links)
+	return nodes, links
+}
+
+// OutLinks returns, for each node index, the indices into the link set of
+// that node's outgoing links — the adjacency view a router needs.
+func (n *Network) OutLinks() map[int][]int {
+	adj := make(map[int][]int, len(n.Nodes))
+	for i, l := range n.Links {
+		adj[l.From] = append(adj[l.From], i)
+	}
+	return adj
+}
+
 // MaxLinkLoad returns the heaviest link load — in a chain topology, always
 // the links adjacent to the SµDC.
 func (n *Network) MaxLinkLoad() units.DataRate {

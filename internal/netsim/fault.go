@@ -1,0 +1,182 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// eclipseEpoch anchors the eclipse geometry near an equinox, matching the
+// experiments package's reference epoch.
+var eclipseEpoch = time.Date(2026, 3, 20, 0, 0, 0, 0, time.UTC)
+
+// FaultConfig describes the failure regime injected into a run.
+type FaultConfig struct {
+	// LinkOutage is the stationary fraction of time each directed link is
+	// independently down from pointing loss (0 disables the process).
+	LinkOutage float64
+	// LinkMTTRSec is the mean re-acquisition time after a pointing loss.
+	// Zero means 30 s (an optical terminal's reacquisition scale).
+	LinkMTTRSec float64
+	// SatMTBFSec is the mean time between whole-satellite failures
+	// (0 disables them). A failed satellite neither generates nor relays,
+	// and its buffered segments are lost.
+	SatMTBFSec float64
+	// SatMTTRSec is the mean satellite recovery time. Zero means 120 s.
+	SatMTTRSec float64
+	// EclipseOutage drops optical links while either endpoint satellite
+	// is inside the Earth-shadow arc that sweeps the plane once per
+	// orbit — the pointing-loss-from-thermal-snap regime.
+	EclipseOutage bool
+}
+
+// withDefaults fills zero repair times.
+func (fc FaultConfig) withDefaults() FaultConfig {
+	if fc.LinkMTTRSec == 0 {
+		fc.LinkMTTRSec = 30
+	}
+	if fc.SatMTTRSec == 0 {
+		fc.SatMTTRSec = 120
+	}
+	return fc
+}
+
+// Validate checks the regime.
+func (fc FaultConfig) Validate() error {
+	if fc.LinkOutage < 0 || fc.LinkOutage >= 1 {
+		return fmt.Errorf("netsim: link outage fraction %v outside [0,1)", fc.LinkOutage)
+	}
+	if fc.LinkMTTRSec < 0 || fc.SatMTBFSec < 0 || fc.SatMTTRSec < 0 {
+		return fmt.Errorf("netsim: negative MTBF/MTTR")
+	}
+	return nil
+}
+
+// linkMTBF derives the mean up-time that yields the configured stationary
+// outage fraction: down/(up+down) = f ⇒ up = MTTR·(1−f)/f.
+func (fc FaultConfig) linkMTBF() float64 {
+	if fc.LinkOutage <= 0 {
+		return math.Inf(1)
+	}
+	return fc.LinkMTTRSec * (1 - fc.LinkOutage) / fc.LinkOutage
+}
+
+// expSample draws an exponential holding time with the given mean.
+func expSample(rng *rand.Rand, mean float64) float64 {
+	if math.IsInf(mean, 1) {
+		return math.Inf(1)
+	}
+	return rng.ExpFloat64() * mean
+}
+
+// faultState runs the MTBF/MTTR processes and the eclipse sweep over a
+// graph.
+type faultState struct {
+	cfg     FaultConfig
+	rng     *rand.Rand
+	optical bool
+	// eclipse sweep geometry: the fraction of the plane in shadow and the
+	// period of one sweep. eclipseFrac == 0 disables the sweep.
+	eclipseFrac float64
+	periodSec   float64
+	// Events counts state transitions (for the run report).
+	Events int
+}
+
+// newFaultState seeds the processes over g: every link and satellite draws
+// its first transition time.
+func newFaultState(cfg FaultConfig, ts TopologySpec, g *Graph, rng *rand.Rand) *faultState {
+	fs := &faultState{cfg: cfg, rng: rng, optical: ts.Tech.Optical}
+	if cfg.EclipseOutage {
+		fs.eclipseFrac, fs.periodSec = ts.eclipseFraction()
+	}
+	if cfg.LinkOutage > 0 {
+		mtbf := cfg.linkMTBF()
+		for _, l := range g.Links {
+			l.nextFlip = expSample(rng, mtbf)
+		}
+	}
+	if cfg.SatMTBFSec > 0 {
+		for _, s := range g.Sources {
+			g.nodes[s].nextFlip = expSample(rng, cfg.SatMTBFSec)
+		}
+	}
+	return fs
+}
+
+// update advances every fault process to time t and returns whether any
+// link or node changed state (routing must then be recomputed). A failed
+// satellite loses the segments buffered on its outgoing links; those
+// losses count as drops only inside the measurement window.
+func (fs *faultState) update(t float64, g *Graph, measure bool) bool {
+	changed := false
+	if fs.cfg.LinkOutage > 0 {
+		mtbf := fs.cfg.linkMTBF()
+		for _, l := range g.Links {
+			for t >= l.nextFlip {
+				l.Up = !l.Up
+				fs.Events++
+				changed = true
+				if l.Up {
+					l.nextFlip += expSample(fs.rng, mtbf)
+				} else {
+					l.nextFlip += expSample(fs.rng, fs.cfg.LinkMTTRSec)
+				}
+			}
+		}
+	}
+	if fs.cfg.SatMTBFSec > 0 {
+		for _, s := range g.Sources {
+			n := &g.nodes[s]
+			for t >= n.nextFlip {
+				n.Up = !n.Up
+				fs.Events++
+				changed = true
+				if n.Up {
+					n.nextFlip += expSample(fs.rng, fs.cfg.SatMTBFSec)
+				} else {
+					n.nextFlip += expSample(fs.rng, fs.cfg.SatMTTRSec)
+					for _, li := range g.out[s] {
+						g.Links[li].clearQueue(measure)
+					}
+				}
+			}
+		}
+	}
+	if fs.eclipseFrac > 0 && fs.optical {
+		changed = fs.updateEclipse(t, g) || changed
+	}
+	return changed
+}
+
+// updateEclipse moves the shadow arc: satellite p is eclipsed while its
+// orbital phase frac(t/P + posFrac) lies inside [0, eclipseFrac).
+func (fs *faultState) updateEclipse(t float64, g *Graph) bool {
+	changed := false
+	for i := range g.nodes {
+		n := &g.nodes[i]
+		if n.geo {
+			continue
+		}
+		phase := math.Mod(t/fs.periodSec+n.posFrac, 1)
+		ecl := phase < fs.eclipseFrac
+		if ecl != n.eclipsed {
+			n.eclipsed = ecl
+			fs.Events++
+			changed = true
+		}
+	}
+	return changed
+}
+
+// clearQueue discards everything buffered on the link, counting the loss
+// when it falls inside the measurement window.
+func (l *Link) clearQueue(measure bool) {
+	if measure {
+		l.drops += len(l.q)
+	}
+	l.q = nil
+	l.qBits = 0
+	l.headDone = 0
+}

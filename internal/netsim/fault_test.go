@@ -1,0 +1,120 @@
+package netsim
+
+import (
+	"testing"
+
+	"spacedc/internal/isl"
+	"spacedc/internal/units"
+)
+
+func faultScenario(outage float64) Scenario {
+	sc := ringScenario(8)
+	sc.Name = "test-faults"
+	sc.Faults = FaultConfig{LinkOutage: outage, LinkMTTRSec: 10}
+	sc.DurationSec = 120
+	sc.WarmupSec = 20
+	return sc
+}
+
+func TestLinkOutagesDegradeGracefully(t *testing.T) {
+	clean, err := Run(faultScenario(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := Run(faultScenario(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.FaultEvents == 0 {
+		t.Fatal("5% outage regime produced no fault events")
+	}
+	if faulty.Retransmits == 0 {
+		t.Error("outages should force retransmissions")
+	}
+	// Retransmission keeps most data flowing, but outages must cost
+	// something relative to the clean run — delivery or latency.
+	if faulty.DeliveryRatio > clean.DeliveryRatio+0.01 &&
+		faulty.LatencySec.P95 <= clean.LatencySec.P95 {
+		t.Errorf("outages were free: clean ratio %v p95 %v, faulty ratio %v p95 %v",
+			clean.DeliveryRatio, clean.LatencySec.P95, faulty.DeliveryRatio, faulty.LatencySec.P95)
+	}
+	if faulty.DeliveryRatio < 0.5 {
+		t.Errorf("ring with retransmission should survive 5%% outage, delivered only %v", faulty.DeliveryRatio)
+	}
+}
+
+func TestSatelliteFailuresCutGenerationAndRelay(t *testing.T) {
+	sc := faultScenario(0)
+	sc.Faults = FaultConfig{SatMTBFSec: 120, SatMTTRSec: 60}
+	sc.Seed = 7
+	r, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FaultEvents == 0 {
+		t.Fatal("satellite failure process never fired")
+	}
+	// Failed satellites stop generating, so the offered rate must dip
+	// below the healthy 8 × 100 Mbit/s.
+	if float64(r.OfferedRate) >= 8*100e6 {
+		t.Errorf("offered rate %v shows no generation loss", r.OfferedRate)
+	}
+	// The ring must reroute around dead relays: most of what was offered
+	// still arrives.
+	if r.DeliveryRatio < 0.6 {
+		t.Errorf("delivery ratio %v under satellite churn; rerouting broken?", r.DeliveryRatio)
+	}
+}
+
+func TestEclipseSweepDropsOpticalLinks(t *testing.T) {
+	sc := ringScenario(8)
+	sc.Topology.Tech = isl.Optical10G
+	sc.PerSat = 100 * units.Mbps
+	sc.Faults = FaultConfig{EclipseOutage: true}
+	sc.DurationSec = 120
+	sc.WarmupSec = 20
+	r, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FaultEvents == 0 {
+		t.Fatal("eclipse sweep never shadowed a satellite")
+	}
+	if r.RouteRecomputes <= r.TopologyRebuilds+1 {
+		t.Error("eclipse transitions should force route recomputes")
+	}
+	// RF terminals ignore the eclipse regime entirely.
+	rf := sc
+	rf.Topology.Tech = isl.RFKaBand
+	rr, err := Run(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.DeliveryRatio < 0.99 {
+		t.Errorf("RF ring under eclipse regime delivered %v, want ≈1", rr.DeliveryRatio)
+	}
+}
+
+func TestFaultConfigStationaryFraction(t *testing.T) {
+	fc := FaultConfig{LinkOutage: 0.2, LinkMTTRSec: 10}
+	mtbf := fc.linkMTBF()
+	// down/(up+down) = MTTR/(MTBF+MTTR) must equal the configured
+	// fraction.
+	frac := fc.LinkMTTRSec / (mtbf + fc.LinkMTTRSec)
+	if diff := frac - fc.LinkOutage; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("stationary fraction %v, want %v", frac, fc.LinkOutage)
+	}
+}
+
+func TestFaultConfigValidate(t *testing.T) {
+	bad := []FaultConfig{
+		{LinkOutage: -0.1},
+		{LinkOutage: 1},
+		{SatMTBFSec: -1},
+	}
+	for i, fc := range bad {
+		if fc.Validate() == nil {
+			t.Errorf("bad fault config %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// node is the dynamic state of one spacecraft.
+type node struct {
+	// Up is false while the whole satellite is failed.
+	Up bool
+	// eclipsed is true while the satellite is inside the Earth-shadow
+	// sweep (matters only to optical links under EclipseOutage).
+	eclipsed bool
+	// posFrac is the node's angular position around the plane in [0,1),
+	// which phases its passage through the shadow arc.
+	posFrac float64
+	// geo marks GEO sinks, which the LEO eclipse sweep never shadows.
+	geo bool
+	// nextFlip is the sampled time of the next up/down transition;
+	// +Inf when no failure process is attached.
+	nextFlip float64
+}
+
+// Link is one directed ISL with a FIFO queue.
+type Link struct {
+	ID             int
+	From, To       int
+	CapacityBps    float64
+	DelaySec       float64
+	QueueLimitBits float64
+
+	// Up is false during a link-level outage (pointing loss).
+	Up       bool
+	nextFlip float64
+
+	// FIFO queue; headDone tracks partially-served bits of q[0].
+	q        []segment
+	qBits    float64
+	headDone float64
+
+	// Measurement-window counters.
+	sentBits  float64
+	drops     int
+	peakQBits float64
+}
+
+// key identifies a link across topology rebuilds.
+func (l *Link) key() [2]int { return [2]int{l.From, l.To} }
+
+// Graph is the link graph the driver rebuilds every epoch.
+type Graph struct {
+	nodes []node
+	Links []*Link
+	// out lists outgoing link IDs per node.
+	out [][]int
+	// Sinks are SµDC node IDs; Sources are EO satellite node IDs.
+	Sinks   []int
+	Sources []int
+	// next is the routing table: per node, the outgoing link ID on a
+	// shortest path toward the nearest reachable sink, or -1.
+	next []int
+	dist []int
+}
+
+// newGraph allocates an empty graph of n nodes, all healthy.
+func newGraph(n int) *Graph {
+	g := &Graph{
+		nodes: make([]node, n),
+		out:   make([][]int, n),
+		next:  make([]int, n),
+		dist:  make([]int, n),
+	}
+	for i := range g.nodes {
+		g.nodes[i].Up = true
+		g.nodes[i].nextFlip = math.Inf(1)
+	}
+	return g
+}
+
+// addLink appends a directed link.
+func (g *Graph) addLink(from, to int, capBps, delaySec, queueBits float64) *Link {
+	l := &Link{
+		ID: len(g.Links), From: from, To: to,
+		CapacityBps: capBps, DelaySec: delaySec, QueueLimitBits: queueBits,
+		Up: true, nextFlip: math.Inf(1),
+	}
+	g.Links = append(g.Links, l)
+	g.out[from] = append(g.out[from], l.ID)
+	return l
+}
+
+// usable reports whether a link can carry traffic right now: the link
+// itself is acquired, both endpoints are alive, and (for optical terminals
+// under an eclipse-outage regime) neither endpoint is in shadow.
+func (g *Graph) usable(l *Link, eclipseOutage bool) bool {
+	if !l.Up || !g.nodes[l.From].Up || !g.nodes[l.To].Up {
+		return false
+	}
+	if eclipseOutage && (g.nodes[l.From].eclipsed || g.nodes[l.To].eclipsed) {
+		return false
+	}
+	return true
+}
+
+// isSink reports whether node id is a SµDC.
+func (g *Graph) isSink(id int) bool {
+	for _, s := range g.Sinks {
+		if s == id {
+			return true
+		}
+	}
+	return false
+}
+
+// recomputeRoutes rebuilds the shortest-path routing table by multi-source
+// BFS from every live sink over the currently usable links. Unreachable
+// nodes get next = -1; their sources keep generating and their segments
+// are dropped at enqueue time, to be recovered by transport retransmission
+// once connectivity returns.
+func (g *Graph) recomputeRoutes(eclipseOutage bool) {
+	const inf = math.MaxInt32
+	for i := range g.next {
+		g.next[i] = -1
+		g.dist[i] = inf
+	}
+	// in-links per node, lazily derived from the link set.
+	in := make([][]int, len(g.nodes))
+	for _, l := range g.Links {
+		in[l.To] = append(in[l.To], l.ID)
+	}
+	queue := make([]int, 0, len(g.nodes))
+	for _, s := range g.Sinks {
+		if g.nodes[s].Up {
+			g.dist[s] = 0
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, li := range in[v] {
+			l := g.Links[li]
+			if !g.usable(l, eclipseOutage) {
+				continue
+			}
+			u := l.From
+			if g.dist[u] > g.dist[v]+1 {
+				g.dist[u] = g.dist[v] + 1
+				g.next[u] = li
+				queue = append(queue, u)
+			}
+		}
+	}
+}
+
+// adoptState carries the dynamic state (fault clocks, eclipse flags,
+// queues, metrics) from the previous epoch's graph into this freshly
+// rebuilt one, matching links by (from, to). Links that ceased to exist
+// drop their queued segments — the transport layer's timers recover them.
+func (g *Graph) adoptState(old *Graph) {
+	if old == nil {
+		return
+	}
+	for i := range g.nodes {
+		if i < len(old.nodes) {
+			g.nodes[i] = old.nodes[i]
+		}
+	}
+	prev := make(map[[2]int]*Link, len(old.Links))
+	for _, l := range old.Links {
+		prev[l.key()] = l
+	}
+	for _, l := range g.Links {
+		if o, ok := prev[l.key()]; ok {
+			l.Up = o.Up
+			l.nextFlip = o.nextFlip
+			l.q = o.q
+			l.qBits = o.qBits
+			l.headDone = o.headDone
+			l.sentBits = o.sentBits
+			l.drops = o.drops
+			l.peakQBits = o.peakQBits
+		}
+	}
+}
+
+// linkName renders a link for reports.
+func (g *Graph) linkName(l *Link) string {
+	from, to := fmt.Sprintf("sat%d", l.From), fmt.Sprintf("sat%d", l.To)
+	if g.isSink(l.From) {
+		from = fmt.Sprintf("sudc%d", l.From)
+	}
+	if g.isSink(l.To) {
+		to = fmt.Sprintf("sudc%d", l.To)
+	}
+	return from + "→" + to
+}

@@ -1,0 +1,140 @@
+package netsim
+
+import (
+	"testing"
+
+	"spacedc/internal/isl"
+)
+
+func TestRingGraphStructure(t *testing.T) {
+	g, err := BuildGraph(TopologySpec{
+		Kind: ClusterTopology, Sats: 8, Cluster: isl.Ring,
+		Tech: isl.RFKaBand, QueueSec: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Sinks) != 1 || len(g.Sources) != 8 {
+		t.Fatalf("ring has %d sinks / %d sources, want 1/8", len(g.Sinks), len(g.Sources))
+	}
+	// A ring of 9 positions: every adjacent pair linked in both
+	// directions → 18 directed links.
+	if len(g.Links) != 18 {
+		t.Errorf("ring link count %d, want 18", len(g.Links))
+	}
+	g.recomputeRoutes(false)
+	for _, s := range g.Sources {
+		if g.next[s] < 0 {
+			t.Errorf("source %d unrouted in a healthy ring", s)
+		}
+	}
+	// The farthest satellite sits ⌈8/2⌉ hops out.
+	maxDist := 0
+	for _, s := range g.Sources {
+		if g.dist[s] > maxDist {
+			maxDist = g.dist[s]
+		}
+	}
+	if maxDist != 4 {
+		t.Errorf("ring eccentricity %d, want 4", maxDist)
+	}
+}
+
+func TestRoutingReroutesAroundDownLink(t *testing.T) {
+	g, err := BuildGraph(TopologySpec{
+		Kind: ClusterTopology, Sats: 6, Cluster: isl.Ring,
+		Tech: isl.RFKaBand, QueueSec: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.recomputeRoutes(false)
+	// Kill node 1's routed link toward the sink; the ring must still
+	// reach the SµDC the long way around.
+	li := g.next[1]
+	before := g.dist[1]
+	g.Links[li].Up = false
+	g.recomputeRoutes(false)
+	if g.next[1] < 0 {
+		t.Fatal("node 1 partitioned by a single link failure in a ring")
+	}
+	if g.dist[1] <= before {
+		t.Errorf("detour distance %d should exceed direct %d", g.dist[1], before)
+	}
+	if g.next[1] == li {
+		t.Error("routing still uses the dead link")
+	}
+}
+
+func TestKListReceiverCount(t *testing.T) {
+	g, err := BuildGraph(TopologySpec{
+		Kind: ClusterTopology, Sats: 16, Cluster: isl.Topology{K: 4, Split: 1},
+		Tech: isl.RFKaBand, QueueSec: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := g.Sinks[0]
+	in := 0
+	for _, l := range g.Links {
+		if l.To == sink {
+			in++
+		}
+	}
+	if in != 4 {
+		t.Errorf("4-list sink has %d receiver links, want K=4", in)
+	}
+}
+
+func TestAdoptStatePreservesQueuesAndFaults(t *testing.T) {
+	spec := TopologySpec{
+		Kind: ClusterTopology, Sats: 6, Cluster: isl.Ring,
+		Tech: isl.RFKaBand, QueueSec: 1,
+	}
+	old, err := BuildGraph(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old.Links[0].q = []segment{{flow: 1, seq: 1, bits: 100}}
+	old.Links[0].qBits = 100
+	old.Links[2].Up = false
+	old.nodes[3].Up = false
+	fresh, err := BuildGraph(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh.adoptState(old)
+	if len(fresh.Links[0].q) != 1 || fresh.Links[0].qBits != 100 {
+		t.Error("queue lost across topology rebuild")
+	}
+	if fresh.Links[2].Up {
+		t.Error("link outage state lost across rebuild")
+	}
+	if fresh.nodes[3].Up {
+		t.Error("satellite failure state lost across rebuild")
+	}
+}
+
+func TestGEOStarAssignsEverySatellite(t *testing.T) {
+	g, err := BuildGraph(TopologySpec{
+		Kind: GEOStarTopology, Sats: 10, Tech: isl.Optical10G, QueueSec: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Sinks) != 3 {
+		t.Fatalf("GEO star has %d sinks, want 3", len(g.Sinks))
+	}
+	if len(g.Links) != 10 {
+		t.Errorf("GEO star has %d links, want one per satellite", len(g.Links))
+	}
+	g.recomputeRoutes(false)
+	for _, s := range g.Sources {
+		if g.next[s] < 0 {
+			t.Errorf("satellite %d has no GEO uplink", s)
+		}
+		if g.dist[s] != 1 {
+			t.Errorf("satellite %d at distance %d, star should be one hop", s, g.dist[s])
+		}
+	}
+}

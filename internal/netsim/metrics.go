@@ -1,0 +1,84 @@
+package netsim
+
+import (
+	"spacedc/internal/stats"
+	"spacedc/internal/units"
+)
+
+// LinkReport is one link's measurement-window record.
+type LinkReport struct {
+	Name string
+	// Utilization is sent bits over capacity × window, clamped to 1.
+	Utilization float64
+	SentBits    float64
+	// Drops counts segments lost at this link: queue overflow plus
+	// buffered data destroyed by a satellite failure.
+	Drops         int
+	PeakQueueBits float64
+}
+
+// Result summarizes one run over its measurement window (after warmup).
+type Result struct {
+	Name        string
+	MeasuredSec float64
+
+	// Offered/Delivered are flow-level rates over the window; the ratio
+	// is the delivered fraction (≈1 for a stable, fault-free network).
+	OfferedRate   units.DataRate
+	DeliveredRate units.DataRate
+	DeliveryRatio float64
+	OfferedSegs   int
+	DeliveredSegs int
+
+	// LatencySec summarizes end-to-end segment delivery latency in
+	// seconds, measured from first transmission (retransmissions included).
+	LatencySec stats.Summary
+
+	// BottleneckUtil is the highest per-link utilization; BottleneckLink
+	// names the link carrying it (the Fig 11 ISL bottleneck).
+	BottleneckUtil float64
+	BottleneckLink string
+	Links          []LinkReport
+
+	// Loss and recovery accounting.
+	LinkDrops    int // queue overflow + satellite-failure purges
+	NoRouteDrops int // segments emitted while the source was partitioned
+	Retransmits  int
+	Duplicates   int
+	Abandoned    int // segments that exhausted their attempt budget
+
+	// Dynamics accounting.
+	FaultEvents      int
+	TopologyRebuilds int
+	RouteRecomputes  int
+	PeakQueueBits    float64
+}
+
+// finalizeLinks folds per-link counters into the result.
+func (r *Result) finalizeLinks(g *Graph) {
+	for _, l := range g.Links {
+		util := 0.0
+		if l.CapacityBps > 0 && r.MeasuredSec > 0 {
+			util = l.sentBits / (l.CapacityBps * r.MeasuredSec)
+			if util > 1 {
+				util = 1
+			}
+		}
+		rep := LinkReport{
+			Name:          g.linkName(l),
+			Utilization:   util,
+			SentBits:      l.sentBits,
+			Drops:         l.drops,
+			PeakQueueBits: l.peakQBits,
+		}
+		r.Links = append(r.Links, rep)
+		r.LinkDrops += l.drops
+		if util > r.BottleneckUtil {
+			r.BottleneckUtil = util
+			r.BottleneckLink = rep.Name
+		}
+		if l.peakQBits > r.PeakQueueBits {
+			r.PeakQueueBits = l.peakQBits
+		}
+	}
+}

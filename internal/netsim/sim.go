@@ -1,0 +1,213 @@
+package netsim
+
+import (
+	"math/rand"
+
+	"spacedc/internal/stats"
+	"spacedc/internal/units"
+)
+
+// arrival is a segment in flight on a link, due at the far end after the
+// propagation delay.
+type arrival struct {
+	due float64
+	seg segment
+	to  int
+}
+
+// Run executes one scenario to completion and returns its measurement
+// record. Runs are deterministic given the scenario (including its seed)
+// and share no mutable state, so many can run concurrently.
+func Run(scenario Scenario) (Result, error) {
+	sc := scenario.withDefaults()
+	if err := sc.Validate(); err != nil {
+		return Result{}, err
+	}
+	rng := rand.New(rand.NewSource(sc.Seed))
+	g, err := BuildGraph(sc.Topology)
+	if err != nil {
+		return Result{}, err
+	}
+	fs := newFaultState(sc.Faults, sc.Topology, g, rng)
+	eclipseOutage := sc.Faults.EclipseOutage && sc.Topology.Tech.Optical
+
+	sources := make([]*source, 0, len(g.Sources))
+	srcByNode := make(map[int]*source, len(g.Sources))
+	for _, id := range g.Sources {
+		s := newSource(id, float64(sc.PerSat), sc.SegmentBits, sc.Transport)
+		sources = append(sources, s)
+		srcByNode[id] = s
+	}
+
+	res := Result{Name: sc.Name, MeasuredSec: sc.DurationSec - sc.WarmupSec}
+	var (
+		latencies             []float64
+		offeredBits, deliBits float64
+		inflight              []arrival
+		dirty                 bool
+	)
+
+	// enqueue pushes seg onto nodeID's routed out-link, dropping it when
+	// the node is partitioned or the queue is full; the source's timer
+	// recovers either loss.
+	enqueue := func(nodeID int, seg segment, measure bool) {
+		li := g.next[nodeID]
+		if li < 0 {
+			if measure {
+				res.NoRouteDrops++
+			}
+			return
+		}
+		l := g.Links[li]
+		if l.qBits+seg.bits > l.QueueLimitBits {
+			if measure {
+				l.drops++
+			}
+			return
+		}
+		l.q = append(l.q, seg)
+		l.qBits += seg.bits
+	}
+
+	// handleArrival delivers at a sink or forwards one hop onward.
+	handleArrival := func(now float64, a arrival, measure bool) {
+		if g.isSink(a.to) {
+			src := srcByNode[a.seg.flow]
+			if src.ack(a.seg.seq) {
+				if measure {
+					res.DeliveredSegs++
+					deliBits += a.seg.bits
+					latencies = append(latencies, now-a.seg.born)
+				}
+			} else if measure {
+				res.Duplicates++
+			}
+			return
+		}
+		enqueue(a.to, a.seg, measure)
+	}
+
+	g.recomputeRoutes(eclipseOutage)
+	res.RouteRecomputes++
+
+	steps := int(sc.DurationSec/sc.StepSec + 0.5)
+	nextEpoch := sc.EpochSec
+	for step := 1; step <= steps; step++ {
+		now := float64(step) * sc.StepSec
+		measure := now > sc.WarmupSec
+
+		// (1) Topology driver: rebuild the link graph each epoch,
+		// carrying queue and fault state across.
+		if now >= nextEpoch {
+			ng, err := BuildGraph(sc.Topology)
+			if err != nil {
+				return Result{}, err
+			}
+			ng.adoptState(g)
+			g = ng
+			res.TopologyRebuilds++
+			nextEpoch += sc.EpochSec
+			dirty = true
+		}
+
+		// (2) Fault layer: MTBF/MTTR processes and the eclipse sweep.
+		if fs.update(now, g, measure) {
+			dirty = true
+		}
+
+		// (3) Routing: recompute shortest paths whenever anything moved.
+		if dirty {
+			g.recomputeRoutes(eclipseOutage)
+			res.RouteRecomputes++
+			dirty = false
+		}
+
+		// (4) Deliver segments whose propagation completed.
+		kept := inflight[:0]
+		for _, a := range inflight {
+			if a.due <= now {
+				handleArrival(now, a, measure)
+			} else {
+				kept = append(kept, a)
+			}
+		}
+		inflight = kept
+
+		// (5) Sources: quantize generation into segments.
+		for _, s := range sources {
+			n := s.generate(now, sc.StepSec, g.nodes[s.node].Up, func(seg segment) {
+				enqueue(s.node, seg, measure)
+			})
+			if measure {
+				res.OfferedSegs += n
+				offeredBits += float64(n) * sc.SegmentBits
+			}
+		}
+
+		// (6) Transport timers: retransmit with exponential backoff.
+		for _, s := range sources {
+			retx, aband := s.expire(now, g.nodes[s.node].Up, func(seg segment) {
+				enqueue(s.node, seg, measure)
+			})
+			if measure {
+				res.Retransmits += retx
+				res.Abandoned += aband
+			}
+		}
+
+		// (7) Link service: each usable link drains up to capacity × dt.
+		for _, l := range g.Links {
+			if !g.usable(l, eclipseOutage) {
+				continue
+			}
+			l.serve(now, sc.StepSec, measure, func(seg segment, to int, due float64) {
+				inflight = append(inflight, arrival{due: due, seg: seg, to: to})
+			})
+		}
+
+		// (8) Metrics: sample queue depths.
+		if measure {
+			for _, l := range g.Links {
+				if l.qBits > l.peakQBits {
+					l.peakQBits = l.qBits
+				}
+			}
+		}
+	}
+
+	res.FaultEvents = fs.Events
+	res.OfferedRate = units.DataRate(offeredBits / res.MeasuredSec)
+	res.DeliveredRate = units.DataRate(deliBits / res.MeasuredSec)
+	if offeredBits > 0 {
+		res.DeliveryRatio = deliBits / offeredBits
+	}
+	res.LatencySec = stats.Summarize(latencies)
+	res.finalizeLinks(g)
+	return res, nil
+}
+
+// serve drains up to capacity × dt bits from the FIFO head, handing each
+// completed segment to deliver with its propagation due time. Partial
+// service persists in headDone across steps.
+func (l *Link) serve(now, dt float64, measure bool, deliver func(seg segment, to int, due float64)) {
+	budget := l.CapacityBps * dt
+	for budget > 0 && len(l.q) > 0 {
+		head := l.q[0]
+		need := head.bits - l.headDone
+		if need > budget {
+			l.headDone += budget
+			return
+		}
+		budget -= need
+		l.q = l.q[1:]
+		l.qBits -= head.bits
+		if l.qBits < 0 {
+			l.qBits = 0
+		}
+		l.headDone = 0
+		if measure {
+			l.sentBits += head.bits
+		}
+		deliver(head, l.To, now+l.DelaySec)
+	}
+}

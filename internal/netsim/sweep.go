@@ -1,0 +1,50 @@
+package netsim
+
+import (
+	"runtime"
+	"sync"
+)
+
+// SweepResult pairs one scenario with its outcome.
+type SweepResult struct {
+	Scenario Scenario
+	Result   Result
+	Err      error
+}
+
+// Sweep executes every scenario across a pool of workers and returns the
+// results in input order. workers ≤ 0 means one worker per CPU. Each run
+// owns all of its state (graph, RNG, queues), so the only sharing is the
+// result slot each worker writes — scenario i's result is independent of
+// the worker count, and a single-worker sweep is bit-identical to a
+// parallel one.
+func Sweep(scenarios []Scenario, workers int) []SweepResult {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+	results := make([]SweepResult, len(scenarios))
+	if len(scenarios) == 0 {
+		return results
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				r, err := Run(scenarios[i])
+				results[i] = SweepResult{Scenario: scenarios[i], Result: r, Err: err}
+			}
+		}()
+	}
+	for i := range scenarios {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}

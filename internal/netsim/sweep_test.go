@@ -1,0 +1,110 @@
+package netsim
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"spacedc/internal/units"
+)
+
+// sweepScenarios builds a (fault-rate × load) grid for the sweep tests.
+func sweepScenarios(durationSec float64) []Scenario {
+	var out []Scenario
+	for _, outage := range []float64{0, 0.01, 0.05} {
+		for _, rate := range []units.DataRate{50 * units.Mbps, 100 * units.Mbps} {
+			sc := ringScenario(8)
+			sc.Name = fmt.Sprintf("outage=%.2f rate=%v", outage, rate)
+			sc.PerSat = rate
+			sc.Faults = FaultConfig{LinkOutage: outage, LinkMTTRSec: 10}
+			sc.DurationSec = durationSec
+			sc.WarmupSec = durationSec / 6
+			out = append(out, sc)
+		}
+	}
+	return out
+}
+
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	scs := sweepScenarios(40)
+	serial := Sweep(scs, 1)
+	parallel := Sweep(scs, 4)
+	if len(serial) != len(scs) || len(parallel) != len(scs) {
+		t.Fatal("sweep lost scenarios")
+	}
+	for i := range scs {
+		s, p := serial[i], parallel[i]
+		if (s.Err == nil) != (p.Err == nil) {
+			t.Fatalf("scenario %d: error mismatch %v vs %v", i, s.Err, p.Err)
+		}
+		if s.Result.DeliveredSegs != p.Result.DeliveredSegs ||
+			s.Result.LinkDrops != p.Result.LinkDrops ||
+			s.Result.FaultEvents != p.Result.FaultEvents ||
+			s.Result.LatencySec != p.Result.LatencySec {
+			t.Errorf("scenario %d (%s): parallel result diverged from serial:\n%+v\n%+v",
+				i, scs[i].Name, s.Result, p.Result)
+		}
+	}
+}
+
+func TestSweepPropagatesErrors(t *testing.T) {
+	good := ringScenario(4)
+	good.DurationSec = 10
+	good.WarmupSec = 2
+	bad := good
+	bad.PerSat = 0
+	results := Sweep([]Scenario{good, bad, good}, 2)
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Error("valid scenarios should succeed")
+	}
+	if results[1].Err == nil {
+		t.Error("invalid scenario should carry its error")
+	}
+}
+
+func TestSweepEmptyAndOversizedPool(t *testing.T) {
+	if r := Sweep(nil, 8); len(r) != 0 {
+		t.Error("empty sweep should return no results")
+	}
+	one := []Scenario{func() Scenario { sc := ringScenario(4); sc.DurationSec = 10; sc.WarmupSec = 2; return sc }()}
+	r := Sweep(one, 64) // more workers than work
+	if len(r) != 1 || r[0].Err != nil {
+		t.Errorf("oversized pool mishandled single scenario: %+v", r)
+	}
+}
+
+// BenchmarkSweepSpeedup times the same scenario grid serially and across
+// all cores, reporting the wall-clock speedup. On ≥4 cores the pool must
+// clear 2×.
+func BenchmarkSweepSpeedup(b *testing.B) {
+	scs := sweepScenarios(120)
+	workers := runtime.NumCPU()
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		Sweep(scs, 1)
+		serial := time.Since(t0)
+		t1 := time.Now()
+		Sweep(scs, workers)
+		parallel := time.Since(t1)
+		speedup = serial.Seconds() / parallel.Seconds()
+	}
+	b.ReportMetric(speedup, "speedup")
+	b.ReportMetric(float64(workers), "workers")
+	if workers >= 4 && speedup < 2 {
+		b.Errorf("sweep speedup %.2f× on %d cores, want >2×", speedup, workers)
+	}
+}
+
+// BenchmarkRunRing times one simulator run at the baseline configuration.
+func BenchmarkRunRing(b *testing.B) {
+	sc := ringScenario(8)
+	sc.Faults = FaultConfig{LinkOutage: 0.01, LinkMTTRSec: 10}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"spacedc/internal/isl"
+	"spacedc/internal/orbit"
+)
+
+// TopologyKind selects the network family the driver builds.
+type TopologyKind int
+
+// Topology kinds.
+const (
+	// ClusterTopology is the in-plane formation of the paper's §7: EO
+	// satellites and Split SµDC sinks spaced around one orbital plane,
+	// connected by span-K/2 ISLs (K = 2 is the ring, larger even K the
+	// k-lists), each sink receiving on its K nearest satellites.
+	ClusterTopology TopologyKind = iota
+	// GEOStarTopology is the Fig 15 deployment: every EO satellite drives
+	// one long link straight up to its assigned GEO SµDC.
+	GEOStarTopology
+)
+
+// TopologySpec describes the network the time-stepped driver rebuilds at
+// every epoch.
+type TopologySpec struct {
+	Kind TopologyKind
+	// Sats is the number of EO satellites (flow sources).
+	Sats int
+	// Cluster gives K and Split for ClusterTopology.
+	Cluster isl.Topology
+	// Tech supplies link capacity and whether the terminal is optical
+	// (optical terminals lose pointing in eclipse sweeps).
+	Tech isl.LinkTech
+	// Geometry fixes in-plane spacing, and thus link lengths, for
+	// ClusterTopology. Zero-value geometry defaults to orbit-spacing the
+	// plane's population at 550 km.
+	Geometry isl.PlaneGeometry
+	// GEOSinks is the number of GEO SµDCs for GEOStarTopology. Zero
+	// means 3 (the minimal whole-Earth star).
+	GEOSinks int
+	// LowAltKm is the EO constellation altitude, used for GEO slant range
+	// and eclipse geometry. Zero means 550.
+	LowAltKm float64
+	// QueueSec sizes each link's FIFO queue in seconds of link capacity.
+	QueueSec float64
+}
+
+// Validate checks the spec.
+func (ts TopologySpec) Validate() error {
+	if ts.Sats <= 0 {
+		return fmt.Errorf("netsim: non-positive satellite count %d", ts.Sats)
+	}
+	if ts.Tech.Capacity <= 0 {
+		return fmt.Errorf("netsim: non-positive link capacity %v", ts.Tech.Capacity)
+	}
+	if ts.QueueSec < 0 {
+		return fmt.Errorf("netsim: negative queue depth %v s", ts.QueueSec)
+	}
+	switch ts.Kind {
+	case ClusterTopology:
+		if err := ts.Cluster.Validate(); err != nil {
+			return err
+		}
+		if ts.Sats < ts.Cluster.K*ts.Cluster.Split {
+			return fmt.Errorf("netsim: %d sats cannot populate %d sinks × %d receivers",
+				ts.Sats, ts.Cluster.Split, ts.Cluster.K)
+		}
+	case GEOStarTopology:
+		if ts.GEOSinks < 0 {
+			return fmt.Errorf("netsim: negative GEO sink count %d", ts.GEOSinks)
+		}
+	default:
+		return fmt.Errorf("netsim: unknown topology kind %d", ts.Kind)
+	}
+	return nil
+}
+
+// lowAlt returns the EO altitude with the default applied.
+func (ts TopologySpec) lowAlt() float64 {
+	if ts.LowAltKm == 0 {
+		return 550
+	}
+	return ts.LowAltKm
+}
+
+// geometry returns the plane geometry with the default applied.
+func (ts TopologySpec) geometry(totalNodes int) isl.PlaneGeometry {
+	if ts.Geometry.SpacingRad == 0 {
+		return isl.OrbitSpacedGeometry(ts.lowAlt(), totalNodes)
+	}
+	return ts.Geometry
+}
+
+const lightSpeedKmS = 299792.458
+
+// BuildGraph constructs the structural link graph for the spec. The
+// time-stepped driver calls it at every epoch; Graph.adoptState then
+// carries queue and fault state across the rebuild.
+func BuildGraph(ts TopologySpec) (*Graph, error) {
+	if err := ts.Validate(); err != nil {
+		return nil, err
+	}
+	switch ts.Kind {
+	case GEOStarTopology:
+		return buildGEOStar(ts), nil
+	default:
+		return buildCluster(ts), nil
+	}
+}
+
+// buildCluster lays Sats satellites and Split sinks around one orbital
+// plane and wires the span-K/2 ISL fabric: satellite↔satellite links K/2
+// positions apart in both directions, and each sink receiving from its K
+// nearest satellites (spans 1…K/2 on each side). Shortest-path routing
+// over this fabric reproduces exactly the K relay chains per sink that
+// isl.BuildCluster constructs analytically — netsim builds the *physical*
+// fabric so that traffic can reroute the long way around when a chain
+// link fails.
+func buildCluster(ts TopologySpec) *Graph {
+	total := ts.Sats + ts.Cluster.Split
+	g := newGraph(total)
+	geom := ts.geometry(total)
+	cap := float64(ts.Tech.Capacity)
+	queueBits := ts.QueueSec * cap
+
+	// Sink positions, evenly spaced around the plane.
+	isSink := make([]bool, total)
+	for s := 0; s < ts.Cluster.Split; s++ {
+		p := s * total / ts.Cluster.Split
+		isSink[p] = true
+		g.Sinks = append(g.Sinks, p)
+	}
+	for p := 0; p < total; p++ {
+		g.nodes[p].posFrac = float64(p) / float64(total)
+		if !isSink[p] {
+			g.Sources = append(g.Sources, p)
+		}
+	}
+
+	span := ts.Cluster.K / 2
+	addPair := func(a, b, spanHops int) {
+		dist := geom.HopDistanceKm(2 * spanHops)
+		delay := dist / lightSpeedKmS
+		g.addLink(a, b, cap, delay, queueBits)
+		g.addLink(b, a, cap, delay, queueBits)
+	}
+	// Satellite↔satellite span links.
+	for p := 0; p < total; p++ {
+		q := (p + span) % total
+		if isSink[p] || isSink[q] {
+			continue // sink attachment handled below
+		}
+		addPair(p, q, span)
+	}
+	// Sink receiver links: the K nearest satellites, spans 1…K/2 on each
+	// side (skipping positions occupied by other sinks in tiny configs).
+	for _, sink := range g.Sinks {
+		for s := 1; s <= span; s++ {
+			for _, q := range []int{(sink + s) % total, (sink - s + total) % total} {
+				if !isSink[q] {
+					addPair(sink, q, s)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// buildGEOStar wires every EO satellite straight to its assigned GEO sink.
+func buildGEOStar(ts TopologySpec) *Graph {
+	sinks := ts.GEOSinks
+	if sinks == 0 {
+		sinks = 3
+	}
+	if sinks > ts.Sats {
+		sinks = ts.Sats
+	}
+	g := newGraph(ts.Sats + sinks)
+	cap := float64(ts.Tech.Capacity)
+	queueBits := ts.QueueSec * cap
+	slantKm := orbit.GeostationaryAltitudeKm - ts.lowAlt()
+	delay := slantKm / lightSpeedKmS
+	for s := 0; s < sinks; s++ {
+		g.Sinks = append(g.Sinks, ts.Sats+s)
+		g.nodes[ts.Sats+s].geo = true
+	}
+	for p := 0; p < ts.Sats; p++ {
+		g.Sources = append(g.Sources, p)
+		g.nodes[p].posFrac = float64(p) / float64(ts.Sats)
+		// Longitude thirds: contiguous blocks of satellites share a sink.
+		sink := ts.Sats + p*sinks/ts.Sats
+		g.addLink(p, sink, cap, delay, queueBits)
+	}
+	return g
+}
+
+// eclipseFraction returns the fraction of the orbit each satellite spends
+// in Earth shadow at the spec's altitude, and the orbital period, for the
+// fault layer's eclipse sweep. A mid-inclination plane near equinox is
+// representative of the paper's study constellation.
+func (ts TopologySpec) eclipseFraction() (frac float64, periodSec float64) {
+	el := orbit.CircularLEO(ts.lowAlt(), 0.9, 0, 0, eclipseEpoch)
+	period := el.Period()
+	frac = orbit.EclipseFraction(el, eclipseEpoch, period, period/240)
+	return frac, period.Seconds()
+}
+
+// orbitalPeriodSec returns the plane's orbital period in seconds.
+func (ts TopologySpec) orbitalPeriodSec() float64 {
+	a := orbit.EarthRadiusKm + ts.lowAlt()
+	return 2 * math.Pi / math.Sqrt(orbit.EarthMuKm3S2/(a*a*a))
+}

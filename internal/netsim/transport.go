@@ -1,0 +1,102 @@
+package netsim
+
+// segment is the flow-level unit of transfer: a fixed-size slice of one
+// satellite's stream.
+type segment struct {
+	flow int   // source node ID
+	seq  int64 // per-flow sequence number
+	bits float64
+	// born is the first-transmission time of the original copy; delivery
+	// latency is measured from it even across retransmissions.
+	born float64
+}
+
+// txState tracks one unacknowledged segment at its source.
+type txState struct {
+	seg      segment
+	attempts int
+	deadline float64
+}
+
+// source is one EO satellite's flow endpoint: it quantizes the generation
+// rate into segments and retransmits with exponential backoff until a
+// copy reaches a SµDC or the attempt budget runs out.
+type source struct {
+	node        int
+	rateBps     float64
+	segmentBits float64
+	cfg         TransportConfig
+
+	credit      float64
+	seq         int64
+	outstanding map[int64]*txState
+}
+
+// newSource initializes the endpoint.
+func newSource(nodeID int, rateBps, segBits float64, cfg TransportConfig) *source {
+	return &source{
+		node: nodeID, rateBps: rateBps, segmentBits: segBits, cfg: cfg,
+		outstanding: make(map[int64]*txState),
+	}
+}
+
+// generate accrues dt's worth of data, emits the segments it completes,
+// and returns how many. A failed satellite generates nothing (its sensor
+// is down with it).
+func (s *source) generate(now, dt float64, alive bool, emit func(segment)) int {
+	if !alive {
+		return 0
+	}
+	s.credit += s.rateBps * dt
+	n := 0
+	for s.credit >= s.segmentBits {
+		s.credit -= s.segmentBits
+		s.seq++
+		seg := segment{flow: s.node, seq: s.seq, bits: s.segmentBits, born: now}
+		s.outstanding[s.seq] = &txState{seg: seg, attempts: 1, deadline: now + s.cfg.RTOSec}
+		emit(seg)
+		n++
+	}
+	return n
+}
+
+// ack removes a delivered segment; it reports false for a duplicate (an
+// earlier copy already arrived).
+func (s *source) ack(seq int64) bool {
+	if _, ok := s.outstanding[seq]; !ok {
+		return false
+	}
+	delete(s.outstanding, seq)
+	return true
+}
+
+// expire retransmits every timed-out segment with exponentially backed-off
+// deadlines, abandoning those that exhaust the attempt budget. It returns
+// the retransmission and abandonment counts.
+func (s *source) expire(now float64, alive bool, emit func(segment)) (retransmits, abandoned int) {
+	for seq, tx := range s.outstanding {
+		if now < tx.deadline {
+			continue
+		}
+		if tx.attempts >= s.cfg.MaxAttempts {
+			abandoned++
+			delete(s.outstanding, seq)
+			continue
+		}
+		if !alive {
+			// The satellite is down; push the timer out one RTO and let
+			// recovery retry.
+			tx.deadline = now + s.cfg.RTOSec
+			continue
+		}
+		tx.attempts++
+		rto := s.cfg.RTOSec
+		for i := 1; i < tx.attempts; i++ {
+			rto *= s.cfg.Backoff
+		}
+		tx.deadline = now + rto
+		retransmits++
+		emit(tx.seg)
+	}
+	return retransmits, abandoned
+}

@@ -1,0 +1,68 @@
+package netsim
+
+import (
+	"fmt"
+
+	"spacedc/internal/isl"
+	"spacedc/internal/units"
+)
+
+// stableDeliveryRatio is the delivered fraction below which a zero-fault
+// run counts as overloaded.
+const stableDeliveryRatio = 0.95
+
+// Supported reports whether a zero-fault run was stable: nothing dropped,
+// nothing abandoned, and essentially everything offered was delivered.
+func Supported(r Result) bool {
+	return r.LinkDrops == 0 && r.NoRouteDrops == 0 && r.Abandoned == 0 &&
+		r.DeliveryRatio >= stableDeliveryRatio
+}
+
+// MaxSupportable finds, by running the time-stepped simulator at
+// increasing constellation sizes, the largest EO-satellite count the
+// scenario's topology carries without saturating a link. Faults are
+// disabled and transport is fire-and-forget so that overload shows up
+// directly as loss — the dynamic cross-check of the closed-form Table 8
+// model (isl.SupportableEOSats) and of isl.MaxSupportableBySimulation.
+func MaxSupportable(scenario Scenario, searchLimit int) (int, error) {
+	sc := scenario.withDefaults()
+	sc.Faults = FaultConfig{}.withDefaults()
+	sc.Transport.MaxAttempts = 1
+	minSats := 1
+	if sc.Topology.Kind == ClusterTopology {
+		minSats = sc.Topology.Cluster.K * sc.Topology.Cluster.Split
+	}
+	if searchLimit < minSats {
+		return 0, fmt.Errorf("netsim: search limit %d below minimum population %d", searchLimit, minSats)
+	}
+	best := 0
+	for n := minSats; n <= searchLimit; n++ {
+		s := sc
+		s.Topology.Sats = n
+		r, err := Run(s)
+		if err != nil {
+			return 0, err
+		}
+		if !Supported(r) {
+			break
+		}
+		best = n
+	}
+	return best, nil
+}
+
+// AnalyticBottleneckUtil is the closed-form Fig 11 bottleneck shape: with
+// n satellites balanced over K·Split relay chains, the chain link adjacent
+// to a SµDC carries ⌈n/(K·Split)⌉ satellites' traffic.
+func AnalyticBottleneckUtil(n int, topo isl.Topology, perSat, linkCap units.DataRate) float64 {
+	chains := topo.K * topo.Split
+	if chains == 0 || linkCap <= 0 {
+		return 0
+	}
+	longest := (n + chains - 1) / chains
+	util := float64(longest) * float64(perSat) / float64(linkCap)
+	if util > 1 {
+		util = 1
+	}
+	return util
+}

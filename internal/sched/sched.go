@@ -16,7 +16,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+
+	statsutil "spacedc/internal/stats"
 )
 
 // Processor abstracts the compute device: the time and energy to run one
@@ -116,11 +117,11 @@ type event struct {
 
 type eventHeap []event
 
-func (h eventHeap) Len() int            { return len(h) }
-func (h eventHeap) Less(i, j int) bool  { return h[i].time < h[j].time }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return h[i].time < h[j].time }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
 	x := old[n-1]
@@ -245,18 +246,8 @@ func Simulate(cfg Config, proc Processor) (Stats, error) {
 	return stats, nil
 }
 
-// latencyStats computes mean, p95, and max of a sample.
+// latencyStats computes mean, p95, and max of a sample via the shared
+// stats helper (netsim uses the same convention).
 func latencyStats(xs []float64) (mean, p95, max float64) {
-	sorted := make([]float64, len(xs))
-	copy(sorted, xs)
-	sort.Float64s(sorted)
-	var sum float64
-	for _, v := range sorted {
-		sum += v
-	}
-	mean = sum / float64(len(sorted))
-	idx := int(0.95 * float64(len(sorted)-1))
-	p95 = sorted[idx]
-	max = sorted[len(sorted)-1]
-	return
+	return statsutil.MeanP95Max(xs)
 }

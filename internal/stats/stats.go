@@ -1,0 +1,71 @@
+// Package stats provides the small sample-statistics helpers shared by the
+// simulators (sched, netsim): mean, percentiles, and the mean/p95/max
+// summary every latency report in the repo uses. Centralizing them keeps
+// the percentile convention (nearest-rank on the sorted sample, index
+// ⌊q·(n−1)⌋) identical across packages.
+package stats
+
+import "sort"
+
+// Summary condenses a sample into the quantities the experiment tables
+// report.
+type Summary struct {
+	Count int
+	Mean  float64
+	P95   float64
+	Max   float64
+}
+
+// Summarize computes the standard summary of xs. An empty sample yields a
+// zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	return Summary{
+		Count: len(sorted),
+		Mean:  sum / float64(len(sorted)),
+		P95:   PercentileSorted(sorted, 0.95),
+		Max:   sorted[len(sorted)-1],
+	}
+}
+
+// MeanP95Max returns the summary as a triple, the shape the sched
+// simulator's Stats fields take.
+func MeanP95Max(xs []float64) (mean, p95, max float64) {
+	s := Summarize(xs)
+	return s.Mean, s.P95, s.Max
+}
+
+// Percentile returns the q-quantile (q in [0,1]) of an unsorted sample.
+func Percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return PercentileSorted(sorted, q)
+}
+
+// PercentileSorted returns the q-quantile of an already-sorted sample using
+// the nearest-rank index ⌊q·(n−1)⌋.
+func PercentileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	return sorted[int(q*float64(len(sorted)-1))]
+}

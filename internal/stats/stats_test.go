@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 || s.Mean != 0 || s.P95 != 0 || s.Max != 0 {
+		t.Errorf("empty sample should summarize to zero, got %+v", s)
+	}
+}
+
+func TestSummarizeKnownSample(t *testing.T) {
+	// 1..100: mean 50.5, p95 index ⌊0.95·99⌋ = 94 → value 95, max 100.
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	s := Summarize(xs)
+	if s.Count != 100 {
+		t.Errorf("count = %d, want 100", s.Count)
+	}
+	if math.Abs(s.Mean-50.5) > 1e-12 {
+		t.Errorf("mean = %v, want 50.5", s.Mean)
+	}
+	if s.P95 != 95 {
+		t.Errorf("p95 = %v, want 95", s.P95)
+	}
+	if s.Max != 100 {
+		t.Errorf("max = %v, want 100", s.Max)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input reordered: %v", xs)
+	}
+}
+
+func TestMeanP95MaxMatchesSummarize(t *testing.T) {
+	xs := []float64{5, 9, 1, 7, 3}
+	mean, p95, max := MeanP95Max(xs)
+	s := Summarize(xs)
+	if mean != s.Mean || p95 != s.P95 || max != s.Max {
+		t.Errorf("triple (%v,%v,%v) disagrees with summary %+v", mean, p95, max, s)
+	}
+}
+
+func TestPercentileBoundsClamped(t *testing.T) {
+	xs := []float64{2, 4, 6}
+	if v := Percentile(xs, -0.5); v != 2 {
+		t.Errorf("q<0 should clamp to min, got %v", v)
+	}
+	if v := Percentile(xs, 1.5); v != 6 {
+		t.Errorf("q>1 should clamp to max, got %v", v)
+	}
+	if v := Percentile(nil, 0.5); v != 0 {
+		t.Errorf("empty percentile should be 0, got %v", v)
+	}
+}
+
+func TestPercentileSingleElement(t *testing.T) {
+	for _, q := range []float64{0, 0.5, 0.95, 1} {
+		if v := Percentile([]float64{42}, q); v != 42 {
+			t.Errorf("q=%v: got %v, want 42", q, v)
+		}
+	}
+}
