@@ -19,6 +19,8 @@ import (
 	"spacedc/internal/isl"
 	"spacedc/internal/netsim"
 	"spacedc/internal/report"
+	"spacedc/internal/resilience"
+	"spacedc/internal/sched"
 	"spacedc/internal/units"
 )
 
@@ -333,6 +335,69 @@ func BenchmarkExtNetsimValidation(b *testing.B) {
 			b.ReportMetric(float64(closed), "closed-form-sats")
 		})
 	}
+}
+
+// BenchmarkExtResilience validates the resilience layer's acceptance
+// criteria on the ISS-orbit scenario: (1) with the hazard forced to zero
+// every mitigation policy reproduces the fault-free pipeline bit for bit;
+// (2) with SAA-driven upsets on, goodput orders tmr ≥ checkpoint ≥ retry ≥
+// none while energy orders the opposite way — protection is paid for in
+// joules.
+func BenchmarkExtResilience(b *testing.B) {
+	sc, err := experiments.ResilienceISSScenario()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if f := sc.Env.SAAFraction(); f < 0.01 {
+		b.Fatalf("ISS orbit SAA dwell %v — environment trace broken", f)
+	}
+	baseline, err := sc.Baseline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, pol := range resilience.StandardPolicies() {
+		cfg := sc.Base
+		cfg.Faults = &sched.FaultConfig{
+			Hazard:        func(float64) float64 { return 0 },
+			ResetFraction: 0.1,
+			ResetMTTRSec:  30,
+			Recovery:      pol.Recovery,
+		}
+		st, err := sched.Simulate(cfg, sc.Proc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st != baseline {
+			b.Fatalf("%s: zero-hazard run diverged from baseline:\n got %+v\nwant %+v",
+				pol.Name, st, baseline)
+		}
+	}
+	var byName map[string]resilience.Report
+	for i := 0; i < b.N; i++ {
+		reports, err := sc.EvaluateAll(resilience.StandardPolicies())
+		if err != nil {
+			b.Fatal(err)
+		}
+		byName = make(map[string]resilience.Report, len(reports))
+		for _, r := range reports {
+			byName[r.Policy] = r
+		}
+	}
+	ladder := []string{"none", "retry", "checkpoint", "tmr"}
+	for i := 1; i < len(ladder); i++ {
+		lo, hi := byName[ladder[i-1]], byName[ladder[i]]
+		if hi.GoodputFPS < lo.GoodputFPS-1e-9 {
+			b.Errorf("goodput(%s)=%v below goodput(%s)=%v",
+				ladder[i], hi.GoodputFPS, ladder[i-1], lo.GoodputFPS)
+		}
+		if hi.Stats.EnergyJ < lo.Stats.EnergyJ-1e-6 {
+			b.Errorf("energy(%s)=%v below energy(%s)=%v",
+				ladder[i], hi.Stats.EnergyJ, ladder[i-1], lo.Stats.EnergyJ)
+		}
+	}
+	b.ReportMetric(byName["tmr"].GoodputFPS, "tmr-goodput-fps")
+	b.ReportMetric(byName["tmr"].EnergyOverhead, "tmr-energy-ovh")
+	b.ReportMetric(byName["none"].GoodputFPS, "none-goodput-fps")
 }
 
 // --- Ablation benches: the design choices DESIGN.md calls out. ---

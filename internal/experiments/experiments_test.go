@@ -14,7 +14,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table7", "table8", "table9",
 		"ext-saa", "ext-lifetime", "ext-thermal", "ext-power",
 		"ext-disagg", "ext-sched", "ext-revisit", "ext-fleet", "ext-latency",
-		"ext-lossy", "ext-detect", "ext-netsim",
+		"ext-lossy", "ext-detect", "ext-netsim", "ext-resilience",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {

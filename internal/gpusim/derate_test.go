@@ -1,0 +1,69 @@
+package gpusim
+
+import (
+	"math"
+	"testing"
+
+	"spacedc/internal/apps"
+)
+
+func TestDeratedScalesPowerAndRate(t *testing.T) {
+	m, err := NewModel(apps.FloodDetection, RTX3090)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DerateFactor() != 1 {
+		t.Fatalf("fresh model derate %v, want 1", m.DerateFactor())
+	}
+	b := m.Calibration().BatchStar
+	half, err := m.Derated(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Power capping: board power and pixel rate halve together, so energy
+	// per pixel is unchanged and inference time doubles.
+	if got, want := float64(half.Power(b)), 0.5*float64(m.Power(b)); math.Abs(got-want) > 1e-9 {
+		t.Errorf("derated power %v, want %v", got, want)
+	}
+	if got, want := half.PixelRate(b), 0.5*m.PixelRate(b); math.Abs(got-want) > 1e-6 {
+		t.Errorf("derated rate %v, want %v", got, want)
+	}
+	if got, want := half.InferTime(b), 2*m.InferTime(b); math.Abs(got-want) > 1e-9 {
+		t.Errorf("derated infer time %v, want %v", got, want)
+	}
+	perPixel := func(mod *Model) float64 { return float64(mod.Power(b)) / mod.PixelRate(b) }
+	if math.Abs(perPixel(half)-perPixel(m)) > 1e-15 {
+		t.Errorf("energy per pixel changed under derate: %v vs %v", perPixel(half), perPixel(m))
+	}
+	// The original model is untouched.
+	if m.DerateFactor() != 1 {
+		t.Error("Derated mutated the receiver")
+	}
+}
+
+func TestDeratedComposesAndValidates(t *testing.T) {
+	m, err := NewModel(apps.FloodDetection, RTX3090)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := m.Derated(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quarter, err := half.Derated(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(quarter.DerateFactor()-0.25) > 1e-12 {
+		t.Errorf("composed derate %v, want 0.25", quarter.DerateFactor())
+	}
+	full, err := m.Derated(1)
+	if err != nil || full.DerateFactor() != 1 {
+		t.Errorf("unity derate should be a no-op: %v, %v", full, err)
+	}
+	for _, f := range []float64{0, -0.5, 1.5, math.NaN()} {
+		if _, err := m.Derated(f); err == nil {
+			t.Errorf("derate factor %v accepted", f)
+		}
+	}
+}

@@ -174,6 +174,21 @@ const (
 	RadHardParts
 )
 
+// AllMitigations returns every mitigation in increasing cost order.
+func AllMitigations() []Mitigation {
+	return []Mitigation{COTSWithSAAPause, COTSWithSoftwareHardening, Redundancy, RadHardParts}
+}
+
+// ParseMitigation inverts String.
+func ParseMitigation(s string) (Mitigation, error) {
+	for _, m := range AllMitigations() {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("radiation: unknown mitigation %q", s)
+}
+
 // String names the mitigation.
 func (m Mitigation) String() string {
 	switch m {

@@ -179,6 +179,84 @@ func TestMitigationStrings(t *testing.T) {
 	}
 }
 
+func TestMitigationRoundTrip(t *testing.T) {
+	all := AllMitigations()
+	if len(all) != 4 {
+		t.Fatalf("AllMitigations returned %d strategies, want 4", len(all))
+	}
+	seen := map[string]bool{}
+	for _, m := range all {
+		s := m.String()
+		if s == "" || s == "unknown" {
+			t.Errorf("mitigation %d has bad name %q", m, s)
+		}
+		if seen[s] {
+			t.Errorf("duplicate mitigation name %q", s)
+		}
+		seen[s] = true
+		back, err := ParseMitigation(s)
+		if err != nil {
+			t.Errorf("ParseMitigation(%q): %v", s, err)
+		}
+		if back != m {
+			t.Errorf("round trip %q: got %d, want %d", s, back, m)
+		}
+	}
+	if _, err := ParseMitigation("unknown"); err == nil {
+		t.Error("parsing the unknown sentinel should fail")
+	}
+	if _, err := ParseMitigation("cosmic-ray-diode"); err == nil {
+		t.Error("parsing a made-up strategy should fail")
+	}
+}
+
+func TestSAAGrowthEdgeCases(t *testing.T) {
+	deg := math.Pi / 180
+	base := DefaultSAA()
+	// A point near the reference-altitude footprint edge, just inside.
+	inside := orbit.Geodetic{LatRad: -26 * deg, LonRad: (-45 + 44) * deg, AltKm: base.RefAltKm}
+	outside := orbit.Geodetic{LatRad: -26 * deg, LonRad: (-45 + 47) * deg, AltKm: base.RefAltKm}
+
+	t.Run("zero growth freezes the footprint", func(t *testing.T) {
+		saa := base
+		saa.GrowthPerKm = 0
+		for _, alt := range []float64{200, base.RefAltKm, 1500, 36000} {
+			in, out := inside, outside
+			in.AltKm, out.AltKm = alt, alt
+			if !saa.Contains(in) {
+				t.Errorf("alt %v km: interior point left the frozen footprint", alt)
+			}
+			if saa.Contains(out) {
+				t.Errorf("alt %v km: exterior point entered the frozen footprint", alt)
+			}
+		}
+	})
+
+	t.Run("high growth clamps below reference", func(t *testing.T) {
+		saa := base
+		saa.GrowthPerKm = 0.01 // 1%/km: scale would go negative 100 km below reference
+		// Far below the reference the scale clamps at 0.5 rather than
+		// inverting: the half-size footprint still contains its center.
+		center := orbit.Geodetic{LatRad: -26 * deg, LonRad: -45 * deg, AltKm: 0}
+		if !saa.Contains(center) {
+			t.Error("clamped footprint must still contain its center")
+		}
+		// At half scale the reference-edge interior point is outside.
+		low := inside
+		low.AltKm = 0
+		if saa.Contains(low) {
+			t.Error("near-edge point should fall outside the clamped half-size footprint")
+		}
+		// Above the reference the footprint balloons: a point well outside
+		// at 500 km is inside by 1000 km at 1%/km growth.
+		high := outside
+		high.AltKm = 1000
+		if !saa.Contains(high) {
+			t.Error("fast growth should swallow the nearby exterior point by 1000 km")
+		}
+	})
+}
+
 func TestLonDiffWraps(t *testing.T) {
 	if d := lonDiffDeg(179, -179); math.Abs(d+2) > 1e-12 {
 		t.Errorf("lon diff across dateline = %v, want -2", d)

@@ -1,0 +1,154 @@
+package resilience
+
+import (
+	"fmt"
+	"math"
+
+	"spacedc/internal/discard"
+	"spacedc/internal/thermal"
+	"spacedc/internal/units"
+)
+
+// Governor is a first-order thermal model implementing sched.ThermalHook:
+// dissipated batch energy charges a thermal-mass bucket, the radiator
+// drains it at its sustainable capacity, and as the bucket fills the
+// device is derated linearly down to the power the radiator can actually
+// reject. Alongside throttling it sheds low-priority load upstream: its
+// KeepFactor tightens the early-discard keep probability by up to the
+// shed criterion's discard rate — graceful degradation instead of queue
+// overflow. The governor is stateful and single-simulation: build a fresh
+// one per run (or Reset between runs); it is not safe for concurrent use.
+type Governor struct {
+	CapacityW float64 // sustainable heat rejection of the radiator
+	PeakW     float64 // worst-case device dissipation
+	HeadroomJ float64 // thermal-mass buffer above steady state before full derate
+	Shed      discard.Criterion
+
+	// Env, when set, modulates rejection with the orbit's day/night
+	// cycle: while sunlit the effective capacity is scaled by
+	// SunlitFactor (solar load on the radiator view); in eclipse the full
+	// capacity is available. A zero SunlitFactor means no modulation.
+	Env          *EnvTrace
+	SunlitFactor float64
+
+	storedJ float64 // energy currently buffered in the thermal mass
+	lastSec float64 // time the bucket was last advanced to
+}
+
+// NewGovernor builds a governor for a device dissipating up to peak,
+// rejected by areaM2 of the given radiator, with headroomJ of thermal
+// mass. shed is the discard criterion applied upstream under throttle
+// (use discard.None to disable shedding).
+func NewGovernor(peak units.Power, rad thermal.Radiator, areaM2, headroomJ float64, shed discard.Criterion) (*Governor, error) {
+	if err := rad.Validate(); err != nil {
+		return nil, err
+	}
+	if peak <= 0 {
+		return nil, fmt.Errorf("resilience: non-positive peak dissipation %v", peak)
+	}
+	if areaM2 <= 0 || math.IsNaN(areaM2) || math.IsInf(areaM2, 0) {
+		return nil, fmt.Errorf("resilience: invalid radiator area %v", areaM2)
+	}
+	if headroomJ <= 0 {
+		return nil, fmt.Errorf("resilience: non-positive thermal headroom %v", headroomJ)
+	}
+	if err := shed.ValidateRate(); err != nil {
+		return nil, err
+	}
+	return &Governor{
+		CapacityW: rad.FluxWM2() * areaM2,
+		PeakW:     float64(peak),
+		HeadroomJ: headroomJ,
+		Shed:      shed,
+	}, nil
+}
+
+// GovernorForBudget builds a governor whose radiator was sized by the
+// default thermal.SizeBudget chain for sizedFor watts while the device
+// can actually dissipate peak — the undersizing knob the throttling sweep
+// turns (sizedFor == peak means a radiator that never saturates).
+func GovernorForBudget(peak, sizedFor units.Power, headroomJ float64, shed discard.Criterion) (*Governor, error) {
+	b, err := thermal.SizeBudget(sizedFor)
+	if err != nil {
+		return nil, err
+	}
+	return NewGovernor(peak, thermal.DefaultRadiator(), b.RadiatorAreaM2, headroomJ, shed)
+}
+
+// capacityAt returns the effective rejection capacity at time t.
+func (g *Governor) capacityAt(t float64) float64 {
+	if g.Env != nil && g.SunlitFactor > 0 && g.SunlitFactor < 1 && g.Env.SunlitAt(t) {
+		return g.CapacityW * g.SunlitFactor
+	}
+	return g.CapacityW
+}
+
+// advance drains the bucket at radiator capacity up to time t, stepping
+// at the environment trace's resolution so day/night capacity swings are
+// honoured.
+func (g *Governor) advance(t float64) {
+	for t > g.lastSec {
+		step := t - g.lastSec
+		if g.Env != nil && step > g.Env.StepSec {
+			step = g.Env.StepSec
+		}
+		g.storedJ -= g.capacityAt(g.lastSec) * step
+		if g.storedJ < 0 {
+			g.storedJ = 0
+		}
+		g.lastSec += step
+	}
+}
+
+// minFactor is the fully-throttled capacity factor: the fraction of peak
+// dissipation the radiator can reject continuously.
+func (g *Governor) minFactor() float64 {
+	f := g.CapacityW / g.PeakW
+	if f > 1 {
+		f = 1
+	}
+	if f < 0.01 {
+		f = 0.01
+	}
+	return f
+}
+
+// severity is the bucket fill level in [0, 1].
+func (g *Governor) severity() float64 {
+	s := g.storedJ / g.HeadroomJ
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+// Factor implements sched.ThermalHook: the capacity factor interpolates
+// from 1 (cool) down to the sustainable fraction as the buffer fills.
+func (g *Governor) Factor(t float64) float64 {
+	g.advance(t)
+	return 1 - (1-g.minFactor())*g.severity()
+}
+
+// Dissipated implements sched.ThermalHook.
+func (g *Governor) Dissipated(start, secs, joules float64) {
+	g.advance(start + secs)
+	g.storedJ += joules
+}
+
+// KeepFactor returns the multiplicative keep probability the load-shedding
+// stage applies upstream at time t: 1 when cool, dropping by the shed
+// criterion's discard rate at full throttle. Compose it into
+// sched.Config.KeepProb.
+func (g *Governor) KeepFactor(t float64) float64 {
+	g.advance(t)
+	return 1 - g.Shed.Rate*g.severity()
+}
+
+// StoredJ exposes the buffered thermal energy (for tests and reports).
+func (g *Governor) StoredJ() float64 { return g.storedJ }
+
+// Reset returns the governor to its cold initial state.
+func (g *Governor) Reset() {
+	g.storedJ = 0
+	g.lastSec = 0
+}

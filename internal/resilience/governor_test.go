@@ -1,0 +1,118 @@
+package resilience
+
+import (
+	"math"
+	"testing"
+
+	"spacedc/internal/discard"
+	"spacedc/internal/thermal"
+	"spacedc/internal/units"
+)
+
+func testGovernor(t *testing.T) *Governor {
+	t.Helper()
+	// Radiator sized for exactly half the 1 kW peak, 10 kJ of buffer.
+	g, err := GovernorForBudget(units.Kilowatt, 500*units.Watt, 1e4, discard.Ocean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGovernorValidation(t *testing.T) {
+	rad := thermal.DefaultRadiator()
+	cases := map[string]func() (*Governor, error){
+		"bad radiator": func() (*Governor, error) {
+			return NewGovernor(units.Kilowatt, thermal.Radiator{}, 1, 1e4, discard.None)
+		},
+		"zero peak": func() (*Governor, error) {
+			return NewGovernor(0, rad, 1, 1e4, discard.None)
+		},
+		"zero area": func() (*Governor, error) {
+			return NewGovernor(units.Kilowatt, rad, 0, 1e4, discard.None)
+		},
+		"NaN area": func() (*Governor, error) {
+			return NewGovernor(units.Kilowatt, rad, math.NaN(), 1e4, discard.None)
+		},
+		"zero headroom": func() (*Governor, error) {
+			return NewGovernor(units.Kilowatt, rad, 1, 0, discard.None)
+		},
+		"bad shed rate": func() (*Governor, error) {
+			return NewGovernor(units.Kilowatt, rad, 1, 1e4, discard.Criterion{Name: "x", Rate: 1.5})
+		},
+		"zero budget": func() (*Governor, error) {
+			return GovernorForBudget(units.Kilowatt, 0, 1e4, discard.None)
+		},
+	}
+	for name, build := range cases {
+		if _, err := build(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestGovernorForBudgetCapacity(t *testing.T) {
+	g := testGovernor(t)
+	// SizeBudget sizes the radiator at exactly load/flux, so capacity
+	// round-trips to the sized-for power.
+	if math.Abs(g.CapacityW-500) > 1e-6 {
+		t.Errorf("capacity %v W, want 500", g.CapacityW)
+	}
+}
+
+func TestGovernorDerateAndRecovery(t *testing.T) {
+	g := testGovernor(t)
+	if f := g.Factor(0); f != 1 {
+		t.Fatalf("cold governor factor %v, want 1", f)
+	}
+	if k := g.KeepFactor(0); k != 1 {
+		t.Fatalf("cold governor keep %v, want 1", k)
+	}
+	// Dump 3× the headroom: bucket saturates, factor floors at the
+	// sustainable fraction, shedding reaches the criterion's full rate.
+	g.Dissipated(0, 10, 3e4)
+	if f := g.Factor(10); math.Abs(f-0.5) > 1e-9 {
+		t.Errorf("saturated factor %v, want capacity/peak = 0.5", f)
+	}
+	if k := g.KeepFactor(10); math.Abs(k-(1-discard.Ocean.Rate)) > 1e-9 {
+		t.Errorf("saturated keep %v, want %v", k, 1-discard.Ocean.Rate)
+	}
+	// Half-full bucket: linear interpolation.
+	g.Reset()
+	g.Dissipated(0, 1, 5e3)
+	if f := g.Factor(1); math.Abs(f-0.75) > 1e-9 {
+		t.Errorf("half-full factor %v, want 0.75", f)
+	}
+	// The 500 W radiator clears the remaining 5 kJ in 10 s (modulo the
+	// ulp-level capacity round-trip through area = load/flux).
+	if f := g.Factor(11); f < 1-1e-12 {
+		t.Errorf("factor %v after drain, want full recovery", f)
+	}
+	if g.StoredJ() > 1e-9 {
+		t.Errorf("stored %v J after drain, want ~0", g.StoredJ())
+	}
+}
+
+func TestGovernorDayNightCapacity(t *testing.T) {
+	day := &EnvTrace{StepSec: 1, InSAA: make([]bool, 100), Sunlit: make([]bool, 100)}
+	night := &EnvTrace{StepSec: 1, InSAA: make([]bool, 100), Sunlit: make([]bool, 100)}
+	for i := range day.Sunlit {
+		day.Sunlit[i] = true
+	}
+	charge := func(env *EnvTrace) float64 {
+		g := testGovernor(t)
+		g.Env = env
+		g.SunlitFactor = 0.8
+		g.Dissipated(0, 1, 6e3)
+		g.Factor(11) // advance 10 s of draining
+		return g.StoredJ()
+	}
+	sunlit, eclipse := charge(day), charge(night)
+	if eclipse >= sunlit {
+		t.Errorf("eclipse store %v J should drain faster than sunlit %v J", eclipse, sunlit)
+	}
+	// Sunlit drains at 0.8×500 W, eclipse at the full 500 W.
+	if math.Abs(sunlit-eclipse-0.2*500*10) > 1e-6 {
+		t.Errorf("day/night drain gap %v J, want 1000", sunlit-eclipse)
+	}
+}

@@ -53,9 +53,179 @@ type Config struct {
 	MaxWaitSec float64
 	// DurationSec is the simulated span.
 	DurationSec float64
-	// Seed drives the discard randomness.
+	// Seed drives all randomness in the run: early-discard draws and fault
+	// sampling share one rand.Rand seeded here, so a (Config, Processor)
+	// pair is fully deterministic.
 	Seed int64
+	// Faults enables radiation-driven fault injection (nil = fault-free;
+	// a nil Faults run is bit-for-bit identical to the pre-fault model).
+	Faults *FaultConfig
+	// Thermal lets a thermal model derate the device (nil = never).
+	Thermal ThermalHook
 }
+
+// FaultConfig injects radiation-driven upsets into the pipeline: a
+// time-varying hazard rate (SEUs per second of busy compute), a split
+// between silent batch corruption and hard device resets, and a recovery
+// policy that shapes how an upset batch is re-executed.
+type FaultConfig struct {
+	// Hazard returns the instantaneous upset rate in events per second of
+	// busy compute at simulation time t. Nil or non-positive = no upsets.
+	Hazard func(t float64) float64
+	// ResetFraction is the fraction of upsets that hard-reset the device
+	// (aborting the pass and costing ResetMTTRSec of downtime) instead of
+	// silently corrupting the batch in flight.
+	ResetFraction float64
+	// ResetMTTRSec is the reboot time after a device-reset upset.
+	ResetMTTRSec float64
+	// Recovery is the mitigation policy applied to upset batches. Nil
+	// means no mitigation: an upset batch completes but its results are
+	// corrupt, and a reset aborts it outright.
+	Recovery RecoveryPolicy
+	// PauseActive reports whether batch launches are administratively
+	// paused at time t (the §9 SAA compute-pause strategy). Nil = never.
+	PauseActive func(t float64) bool
+}
+
+// validate checks the fault configuration.
+func (f *FaultConfig) validate() error {
+	if f.ResetFraction < 0 || f.ResetFraction > 1 {
+		return fmt.Errorf("sched: reset fraction %v outside [0,1]", f.ResetFraction)
+	}
+	if f.ResetMTTRSec < 0 || math.IsNaN(f.ResetMTTRSec) || math.IsInf(f.ResetMTTRSec, 0) {
+		return fmt.Errorf("sched: invalid reset MTTR %v", f.ResetMTTRSec)
+	}
+	return nil
+}
+
+// ThermalHook lets a thermal model throttle the device. The simulator
+// consults Factor at each batch launch and stretches the service time by
+// 1/factor (power capping: same energy, longer execution), then reports
+// the dissipated heat back through Dissipated.
+type ThermalHook interface {
+	// Factor returns the device capacity factor in (0, 1] at time t.
+	Factor(t float64) float64
+	// Dissipated reports joules of heat released over [start, start+secs].
+	Dissipated(start, secs, joules float64)
+}
+
+// BatchExec hands a RecoveryPolicy everything it needs to execute one
+// batch under upsets: the fault-free operating point, the hazard model,
+// and the simulation's single injected random source.
+type BatchExec struct {
+	Start         float64 // launch time
+	Frames        int
+	BaseSecs      float64 // fault-free service time of one full pass
+	BaseJoules    float64
+	Hazard        func(t float64) float64
+	ResetFraction float64
+	ResetMTTRSec  float64
+	Rng           *rand.Rand
+}
+
+// HazardAt returns the sanitized upset rate at time t.
+func (e BatchExec) HazardAt(t float64) float64 {
+	if e.Hazard == nil {
+		return 0
+	}
+	r := e.Hazard(t)
+	if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+		return 0
+	}
+	return r
+}
+
+// PassResult is one unprotected execution pass over (part of) a batch.
+type PassResult struct {
+	Secs    float64 // wall time of the pass, including any reset downtime
+	Joules  float64
+	Upset   bool    // an SEU struck during the pass
+	Reset   bool    // the upset hard-reset the device
+	DownSec float64 // reboot share of Secs
+}
+
+// RunPass executes a compute slice of secs seconds / joules energy
+// starting at start, sampling at most one upset from the hazard rate. No
+// randomness is consumed when the hazard is zero, so zero-hazard runs
+// reproduce fault-free runs bit for bit. A silent upset lets the pass run
+// to completion (the device does not know); a reset truncates it at the
+// upset and adds ResetMTTRSec of downtime.
+func (e BatchExec) RunPass(start, secs, joules float64) PassResult {
+	rate := e.HazardAt(start)
+	if rate <= 0 || secs <= 0 {
+		return PassResult{Secs: secs, Joules: joules}
+	}
+	u := e.Rng.ExpFloat64() / rate
+	if u >= secs {
+		return PassResult{Secs: secs, Joules: joules}
+	}
+	if e.Rng.Float64() < e.ResetFraction {
+		return PassResult{
+			Secs:    u + e.ResetMTTRSec,
+			Joules:  joules * u / secs,
+			Upset:   true,
+			Reset:   true,
+			DownSec: e.ResetMTTRSec,
+		}
+	}
+	return PassResult{Secs: secs, Joules: joules, Upset: true}
+}
+
+// RunOnce is RunPass over the whole batch.
+func (e BatchExec) RunOnce(start float64) PassResult {
+	return e.RunPass(start, e.BaseSecs, e.BaseJoules)
+}
+
+// BatchOutcome is a policy's verdict on one batch execution.
+type BatchOutcome struct {
+	Secs    float64 // total device occupancy: compute + waits + downtime
+	Joules  float64
+	Good    bool // results delivered uncorrupted
+	Upsets  int
+	Resets  int
+	DownSec float64
+}
+
+// Accumulate folds one pass into the outcome tally.
+func (o *BatchOutcome) Accumulate(p PassResult) {
+	o.Secs += p.Secs
+	o.Joules += p.Joules
+	o.DownSec += p.DownSec
+	if p.Upset {
+		o.Upsets++
+	}
+	if p.Reset {
+		o.Resets++
+	}
+}
+
+// RecoveryPolicy shapes how a batch executes under upsets. Policies must
+// draw randomness only from the BatchExec's Rng (determinism) and must
+// return the fault-free operating point untouched when the hazard at
+// launch is zero, so that disabled faults leave the pipeline bit-for-bit
+// identical to the baseline. Implementations beyond the built-in
+// no-mitigation baseline live in internal/resilience.
+type RecoveryPolicy interface {
+	Name() string
+	Execute(e BatchExec) BatchOutcome
+}
+
+// noMitigation is the built-in default policy: one pass, corrupt on any
+// upset.
+type noMitigation struct{}
+
+func (noMitigation) Name() string { return "none" }
+
+func (noMitigation) Execute(e BatchExec) BatchOutcome {
+	var o BatchOutcome
+	p := e.RunOnce(e.Start)
+	o.Accumulate(p)
+	o.Good = !p.Upset
+	return o
+}
+
+// NoMitigation returns the policy that runs every batch unprotected.
+func NoMitigation() RecoveryPolicy { return noMitigation{} }
 
 // Validate checks the config.
 func (c Config) Validate() error {
@@ -73,6 +243,11 @@ func (c Config) Validate() error {
 	}
 	if c.MaxWaitSec < 0 {
 		return fmt.Errorf("sched: negative max wait")
+	}
+	if c.Faults != nil {
+		if err := c.Faults.validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -93,6 +268,13 @@ type Stats struct {
 	EnergyJ     float64
 	MeanBatch   float64 // average formed batch size
 	Batches     int
+
+	// Fault-injection accounting (all zero on fault-free runs).
+	Corrupted    int     // frames whose results upsets corrupted beyond recovery
+	Upsets       int     // SEUs sampled during busy compute
+	DeviceResets int     // upsets that hard-reset the device
+	DowntimeSec  float64 // reboot time after device resets
+	ThrottleSec  float64 // extra service time from thermal derating
 }
 
 // EnergyPerFrameJ returns average energy per processed frame.
@@ -102,6 +284,10 @@ func (s Stats) EnergyPerFrameJ() float64 {
 	}
 	return s.EnergyJ / float64(s.Processed)
 }
+
+// minThrottleFactor floors thermal derating so a degenerate hook cannot
+// stall the simulation with near-infinite service times.
+const minThrottleFactor = 0.01
 
 // event kinds for the simulation heap.
 const (
@@ -176,23 +362,74 @@ func Simulate(cfg Config, proc Processor) (Stats, error) {
 		if secs < 0 || math.IsNaN(secs) || math.IsInf(secs, 0) {
 			secs = 0
 		}
+		// Thermal derating stretches the service time before fault
+		// sampling: a throttled device holds the batch longer, and is
+		// exposed to upsets for longer.
+		if cfg.Thermal != nil {
+			f := cfg.Thermal.Factor(now)
+			if f < minThrottleFactor {
+				f = minThrottleFactor
+			}
+			if f < 1 {
+				stretched := secs / f
+				stats.ThrottleSec += stretched - secs
+				secs = stretched
+			}
+		}
+		good := true
+		var down float64
+		if cfg.Faults != nil {
+			pol := cfg.Faults.Recovery
+			if pol == nil {
+				pol = noMitigation{}
+			}
+			out := pol.Execute(BatchExec{
+				Start:         now,
+				Frames:        n,
+				BaseSecs:      secs,
+				BaseJoules:    joules,
+				Hazard:        cfg.Faults.Hazard,
+				ResetFraction: cfg.Faults.ResetFraction,
+				ResetMTTRSec:  cfg.Faults.ResetMTTRSec,
+				Rng:           rng,
+			})
+			secs, joules = out.Secs, out.Joules
+			good = out.Good
+			down = out.DownSec
+			stats.Upsets += out.Upsets
+			stats.DeviceResets += out.Resets
+			stats.DowntimeSec += out.DownSec
+			if secs < 0 || math.IsNaN(secs) || math.IsInf(secs, 0) {
+				secs = 0
+			}
+		}
 		done := now + secs
-		for _, arr := range queue[:n] {
-			latencies = append(latencies, done-arr)
+		if good {
+			for _, arr := range queue[:n] {
+				latencies = append(latencies, done-arr)
+			}
+			stats.Processed += n
+		} else {
+			stats.Corrupted += n
 		}
 		queue = queue[n:]
-		stats.Processed += n
 		stats.EnergyJ += joules
-		stats.BusySec += secs
+		stats.BusySec += secs - down
 		stats.Batches++
 		batchSum += n
 		busy = true
 		heap.Push(&h, event{time: done, kind: evServiceDone})
+		if cfg.Thermal != nil {
+			cfg.Thermal.Dissipated(now, secs, joules)
+		}
 	}
 
-	// shouldLaunch applies the batching policy.
+	// shouldLaunch applies the batching policy (and the compute pause).
 	shouldLaunch := func(now float64) bool {
 		if len(queue) == 0 {
+			return false
+		}
+		if cfg.Faults != nil && cfg.Faults.PauseActive != nil && cfg.Faults.PauseActive(now) {
 			return false
 		}
 		if len(queue) >= cfg.TargetBatch {
@@ -232,7 +469,7 @@ func Simulate(cfg Config, proc Processor) (Stats, error) {
 		}
 	}
 
-	stats.LeftOver = stats.Arrived - stats.Processed - stats.Dropped
+	stats.LeftOver = stats.Arrived - stats.Processed - stats.Corrupted - stats.Dropped
 	stats.Utilization = stats.BusySec / cfg.DurationSec
 	if stats.Utilization > 1 {
 		stats.Utilization = 1

@@ -82,11 +82,19 @@ type HeatPipe struct {
 // DefaultHeatPipe is a constant-conductance ammonia pipe at 500 W·m.
 func DefaultHeatPipe() HeatPipe { return HeatPipe{CapacityWm: 500} }
 
+// Validate rejects a pipe that cannot transport heat.
+func (hp HeatPipe) Validate() error {
+	if hp.CapacityWm <= 0 || math.IsNaN(hp.CapacityWm) || math.IsInf(hp.CapacityWm, 0) {
+		return fmt.Errorf("thermal: non-positive heat-pipe capacity %v W·m", hp.CapacityWm)
+	}
+	return nil
+}
+
 // PipesNeeded returns how many pipes move the load over runM meters, with
 // one spare for single-failure tolerance.
 func (hp HeatPipe) PipesNeeded(load units.Power, runM float64) (int, error) {
-	if hp.CapacityWm <= 0 {
-		return 0, fmt.Errorf("thermal: non-positive pipe capacity")
+	if err := hp.Validate(); err != nil {
+		return 0, err
 	}
 	if runM <= 0 {
 		return 0, fmt.Errorf("thermal: non-positive transport run %v", runM)
@@ -132,19 +140,24 @@ func (t ThermoelectricRecovery) Recovered(waste units.Power) units.Power {
 // EquilibriumTempK returns the steady-state temperature of a flat panel
 // with the given absorptivity α and emissivity ε, absorbing solar flux on
 // one face (when sunlit) plus internal dissipation, radiating from both
-// faces to deep space: (α·S + P/A) = 2·ε·σ·T⁴.
-func EquilibriumTempK(absorptivity, emissivity float64, internalWM2 float64, sunlit bool) float64 {
-	if emissivity <= 0 {
-		return 0
+// faces to deep space: (α·S + P/A) = 2·ε·σ·T⁴. Degenerate surfaces (ε
+// outside (0, 1], α outside [0, 1], negative or non-finite dissipation)
+// are rejected rather than silently reported as 0 K.
+func EquilibriumTempK(absorptivity, emissivity float64, internalWM2 float64, sunlit bool) (float64, error) {
+	if emissivity <= 0 || emissivity > 1 || math.IsNaN(emissivity) {
+		return 0, fmt.Errorf("thermal: emissivity %v outside (0, 1]", emissivity)
+	}
+	if absorptivity < 0 || absorptivity > 1 || math.IsNaN(absorptivity) {
+		return 0, fmt.Errorf("thermal: absorptivity %v outside [0, 1]", absorptivity)
+	}
+	if internalWM2 < 0 || math.IsNaN(internalWM2) || math.IsInf(internalWM2, 0) {
+		return 0, fmt.Errorf("thermal: invalid internal dissipation %v W/m²", internalWM2)
 	}
 	absorbed := internalWM2
 	if sunlit {
 		absorbed += absorptivity * SolarFluxWM2
 	}
-	if absorbed <= 0 {
-		return 0
-	}
-	return math.Pow(absorbed/(2*emissivity*StefanBoltzmann), 0.25)
+	return math.Pow(absorbed/(2*emissivity*StefanBoltzmann), 0.25), nil
 }
 
 // Budget sizes the whole rejection chain for a SµDC compute load.
