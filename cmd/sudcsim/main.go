@@ -3,25 +3,34 @@
 //
 // Usage:
 //
-//	sudcsim list             # list experiment IDs
-//	sudcsim fig9             # run one experiment, print its tables
-//	sudcsim all              # run every experiment
-//	sudcsim -csv fig9        # emit CSV instead of aligned text
+//	sudcsim list                  # list experiment IDs
+//	sudcsim fig9                  # run one experiment, print its tables
+//	sudcsim all                   # run every experiment
+//	sudcsim -csv fig9             # emit CSV instead of aligned text
+//	sudcsim -metrics all          # append the metrics table after the run
+//	sudcsim -trace run.jsonl all  # stream metric events to a JSONL file
+//	sudcsim -pprof :6060 all      # serve net/http/pprof while running
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"spacedc/internal/experiments"
+	"spacedc/internal/obs"
 	"spacedc/internal/report"
 )
 
 func main() {
 	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	metrics := flag.Bool("metrics", false, "print the metrics registry after the run")
+	trace := flag.String("trace", "", "stream metric events to this JSONL file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: sudcsim [-csv] <experiment-id>|all|list\n\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, "usage: sudcsim [-csv] [-metrics] [-trace file] [-pprof addr] <experiment-id>|all|list\n\nexperiments:\n")
 		for _, id := range experiments.IDs() {
 			fmt.Fprintf(os.Stderr, "  %s\n", id)
 		}
@@ -32,6 +41,33 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "sudcsim: pprof:", err)
+			}
+		}()
+	}
+
+	// The registry is wall-clock: experiment spans measure real elapsed
+	// time, not any single simulator's clock. It stays nil unless an
+	// observability flag asks for it, so the default path is untouched.
+	var reg *obs.Registry
+	var sink *obs.JSONLSink
+	if *metrics || *trace != "" {
+		opts := []obs.Option{obs.WithWallClock()}
+		if *trace != "" {
+			f, err := os.Create(*trace)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			sink = obs.NewJSONLSink(f)
+			opts = append(opts, obs.WithSink(sink))
+		}
+		reg = obs.New(opts...)
+	}
+
 	arg := flag.Arg(0)
 	switch arg {
 	case "list":
@@ -40,17 +76,29 @@ func main() {
 		}
 		return
 	case "all":
-		tables, err := experiments.RunAll()
+		tables, err := experiments.RunAllObs(reg)
 		if err != nil {
 			fatal(err)
 		}
 		emit(tables, *csvOut)
 	default:
-		tables, err := experiments.Run(arg)
+		tables, err := experiments.RunObs(arg, reg)
 		if err != nil {
 			fatal(err)
 		}
 		emit(tables, *csvOut)
+	}
+
+	if sink != nil {
+		if err := sink.Close(); err != nil {
+			fatal(fmt.Errorf("trace %s: %w", *trace, err))
+		}
+	}
+	if *metrics {
+		fmt.Println()
+		if err := reg.WriteText(os.Stdout); err != nil {
+			fatal(err)
+		}
 	}
 }
 

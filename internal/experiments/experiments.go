@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"spacedc/internal/datagen"
+	"spacedc/internal/obs"
 	"spacedc/internal/report"
 )
 
@@ -46,18 +47,42 @@ func IDs() []string {
 
 // Run executes one experiment by ID.
 func Run(id string) ([]report.Table, error) {
+	return RunObs(id, nil)
+}
+
+// RunObs executes one experiment by ID, recording a per-experiment span
+// ("experiments.<id>", wall time when reg runs on the wall clock) plus
+// completion and table-count counters. A nil registry costs one nil check.
+func RunObs(id string, reg *obs.Registry) ([]report.Table, error) {
 	r, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
 	}
-	return r()
+	span := reg.StartSpan("experiments." + id)
+	tables, err := r()
+	span.End()
+	if err != nil {
+		reg.Counter("experiments.failed").Inc()
+		return nil, err
+	}
+	reg.Counter("experiments.completed").Inc()
+	reg.Counter("experiments.tables").Add(len(tables))
+	return tables, nil
 }
 
 // RunAll executes every experiment in ID order.
 func RunAll() ([]report.Table, error) {
+	return RunAllObs(nil)
+}
+
+// RunAllObs executes every experiment in ID order, timing the whole sweep
+// ("experiments.runall") and each experiment individually via RunObs.
+func RunAllObs(reg *obs.Registry) ([]report.Table, error) {
+	span := reg.StartSpan("experiments.runall")
+	defer span.End()
 	var out []report.Table
 	for _, id := range IDs() {
-		tables, err := Run(id)
+		tables, err := RunObs(id, reg)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", id, err)
 		}

@@ -91,18 +91,33 @@ func newFaultState(cfg FaultConfig, ts TopologySpec, g *Graph, rng *rand.Rand) *
 	if cfg.EclipseOutage {
 		fs.eclipseFrac, fs.periodSec = ts.eclipseFraction()
 	}
-	if cfg.LinkOutage > 0 {
-		mtbf := cfg.linkMTBF()
-		for _, l := range g.Links {
-			l.nextFlip = expSample(rng, mtbf)
-		}
-	}
-	if cfg.SatMTBFSec > 0 {
-		for _, s := range g.Sources {
-			g.nodes[s].nextFlip = expSample(rng, cfg.SatMTBFSec)
-		}
-	}
+	fs.seed(0, g)
 	return fs
+}
+
+// seed draws a first transition time for every link and tracked satellite
+// whose fault clock is still unset (+Inf): the whole population at t = 0,
+// and, after an epoch rebuild, exactly the links and nodes the new
+// topology introduced. Without the adoption-time draw, a link whose
+// (from,to) key has no match in the previous epoch's graph would keep
+// nextFlip = +Inf and be immortal under LinkOutage.
+func (fs *faultState) seed(t float64, g *Graph) {
+	if fs.cfg.LinkOutage > 0 {
+		mtbf := fs.cfg.linkMTBF()
+		for _, l := range g.Links {
+			if math.IsInf(l.nextFlip, 1) {
+				l.nextFlip = t + expSample(fs.rng, mtbf)
+			}
+		}
+	}
+	if fs.cfg.SatMTBFSec > 0 {
+		for _, s := range g.Sources {
+			n := &g.nodes[s]
+			if math.IsInf(n.nextFlip, 1) {
+				n.nextFlip = t + expSample(fs.rng, fs.cfg.SatMTBFSec)
+			}
+		}
+	}
 }
 
 // update advances every fault process to time t and returns whether any

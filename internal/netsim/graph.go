@@ -163,9 +163,14 @@ func (g *Graph) adoptState(old *Graph) {
 		return
 	}
 	for i := range g.nodes {
-		if i < len(old.nodes) {
-			g.nodes[i] = old.nodes[i]
+		if i >= len(old.nodes) {
+			break
 		}
+		// Only dynamic state crosses the rebuild; posFrac and geo are
+		// structural and belong to the new layout.
+		g.nodes[i].Up = old.nodes[i].Up
+		g.nodes[i].eclipsed = old.nodes[i].eclipsed
+		g.nodes[i].nextFlip = old.nodes[i].nextFlip
 	}
 	prev := make(map[[2]int]*Link, len(old.Links))
 	for _, l := range old.Links {

@@ -22,6 +22,7 @@ package netsim
 import (
 	"fmt"
 
+	"spacedc/internal/obs"
 	"spacedc/internal/units"
 )
 
@@ -76,6 +77,13 @@ type Scenario struct {
 	// Seed drives the fault and jitter randomness; runs are deterministic
 	// given a seed.
 	Seed int64
+	// Obs, when non-nil, receives the run's metrics, per-step samples, and
+	// spans (see internal/obs). Observability is write-only: it never
+	// alters the simulation, so instrumented runs stay bit-identical to
+	// bare ones. Scenarios sharing one registry must not run concurrently
+	// on a sim-clock registry (the clock would interleave); give parallel
+	// sweep scenarios their own registries or leave Obs nil.
+	Obs *obs.Registry
 }
 
 // withDefaults fills zero fields with the package defaults.

@@ -3,6 +3,7 @@ package netsim
 import (
 	"math/rand"
 
+	"spacedc/internal/obs"
 	"spacedc/internal/stats"
 	"spacedc/internal/units"
 )
@@ -17,12 +18,25 @@ type arrival struct {
 
 // Run executes one scenario to completion and returns its measurement
 // record. Runs are deterministic given the scenario (including its seed)
-// and share no mutable state, so many can run concurrently.
+// and share no mutable state, so many can run concurrently. Observability
+// (Scenario.Obs) records alongside the run but never feeds back into it,
+// so instrumented and bare runs are bit-identical.
 func Run(scenario Scenario) (Result, error) {
 	sc := scenario.withDefaults()
 	if err := sc.Validate(); err != nil {
 		return Result{}, err
 	}
+	// Metric handles resolve once here; with Obs == nil every handle is
+	// nil and each instrumented site below costs a single nil-check. The
+	// loss/recovery counters flush once at the end from the Result fields
+	// the simulator already keeps (so they cover the measurement window,
+	// like the Result); only the per-step samples pay inside the loop.
+	reg := sc.Obs
+	runSpan := reg.StartSpan("netsim.run")
+	var (
+		hQBits = reg.Histogram("netsim.step_queue_bits", obs.SizeBuckets)
+		hUtil  = reg.Histogram("netsim.step_utilization", obs.RatioBuckets)
+	)
 	rng := rand.New(rand.NewSource(sc.Seed))
 	g, err := BuildGraph(sc.Topology)
 	if err != nil {
@@ -79,8 +93,10 @@ func Run(scenario Scenario) (Result, error) {
 					deliBits += a.seg.bits
 					latencies = append(latencies, now-a.seg.born)
 				}
-			} else if measure {
-				res.Duplicates++
+			} else {
+				if measure {
+					res.Duplicates++
+				}
 			}
 			return
 		}
@@ -95,15 +111,18 @@ func Run(scenario Scenario) (Result, error) {
 	for step := 1; step <= steps; step++ {
 		now := float64(step) * sc.StepSec
 		measure := now > sc.WarmupSec
+		reg.SetTime(now)
 
 		// (1) Topology driver: rebuild the link graph each epoch,
-		// carrying queue and fault state across.
+		// carrying queue and fault state across. Links and nodes the new
+		// topology introduced draw their first fault-clock transition now.
 		if now >= nextEpoch {
 			ng, err := BuildGraph(sc.Topology)
 			if err != nil {
 				return Result{}, err
 			}
 			ng.adoptState(g)
+			fs.seed(now, ng)
 			g = ng
 			res.TopologyRebuilds++
 			nextEpoch += sc.EpochSec
@@ -156,13 +175,15 @@ func Run(scenario Scenario) (Result, error) {
 		}
 
 		// (7) Link service: each usable link drains up to capacity × dt.
+		var stepServed, stepCap float64
 		for _, l := range g.Links {
 			if !g.usable(l, eclipseOutage) {
 				continue
 			}
-			l.serve(now, sc.StepSec, measure, func(seg segment, to int, due float64) {
+			stepServed += l.serve(now, sc.StepSec, measure, func(seg segment, to int, due float64) {
 				inflight = append(inflight, arrival{due: due, seg: seg, to: to})
 			})
+			stepCap += l.CapacityBps * sc.StepSec
 		}
 
 		// (8) Metrics: sample queue depths.
@@ -172,6 +193,17 @@ func Run(scenario Scenario) (Result, error) {
 					l.peakQBits = l.qBits
 				}
 			}
+		}
+		if reg != nil {
+			var qb float64
+			for _, l := range g.Links {
+				qb += l.qBits
+			}
+			hQBits.Observe(qb)
+			if stepCap > 0 {
+				hUtil.Observe(stepServed / stepCap)
+			}
+			reg.Emit("netsim.queue_bits", "sample", qb)
 		}
 	}
 
@@ -183,22 +215,40 @@ func Run(scenario Scenario) (Result, error) {
 	}
 	res.LatencySec = stats.Summarize(latencies)
 	res.finalizeLinks(g)
+	if reg != nil {
+		reg.SetTime(sc.DurationSec)
+		reg.Counter("netsim.delivered_segs").Add(res.DeliveredSegs)
+		reg.Counter("netsim.duplicates").Add(res.Duplicates)
+		reg.Counter("netsim.retransmits").Add(res.Retransmits)
+		reg.Counter("netsim.abandoned").Add(res.Abandoned)
+		reg.Counter("netsim.noroute_drops").Add(res.NoRouteDrops)
+		reg.Counter("netsim.link_drops").Add(res.LinkDrops)
+		reg.Counter("netsim.fault_events").Add(res.FaultEvents)
+		reg.Counter("netsim.route_recomputes").Add(res.RouteRecomputes)
+		reg.Counter("netsim.topology_rebuilds").Add(res.TopologyRebuilds)
+		reg.Gauge("netsim.delivery_ratio").Set(res.DeliveryRatio)
+		reg.Gauge("netsim.bottleneck_util").Set(res.BottleneckUtil)
+	}
+	runSpan.End()
 	return res, nil
 }
 
 // serve drains up to capacity × dt bits from the FIFO head, handing each
 // completed segment to deliver with its propagation due time. Partial
-// service persists in headDone across steps.
-func (l *Link) serve(now, dt float64, measure bool, deliver func(seg segment, to int, due float64)) {
+// service persists in headDone across steps. It returns the bits actually
+// served this step (independent of the measurement window).
+func (l *Link) serve(now, dt float64, measure bool, deliver func(seg segment, to int, due float64)) float64 {
 	budget := l.CapacityBps * dt
+	served := 0.0
 	for budget > 0 && len(l.q) > 0 {
 		head := l.q[0]
 		need := head.bits - l.headDone
 		if need > budget {
 			l.headDone += budget
-			return
+			return served + budget
 		}
 		budget -= need
+		served += need
 		l.q = l.q[1:]
 		l.qBits -= head.bits
 		if l.qBits < 0 {
@@ -210,4 +260,5 @@ func (l *Link) serve(now, dt float64, measure bool, deliver func(seg segment, to
 		}
 		deliver(head, l.To, now+l.DelaySec)
 	}
+	return served
 }

@@ -1,8 +1,12 @@
 package netsim
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
+	"time"
+
+	"spacedc/internal/obs"
 )
 
 // SweepResult pairs one scenario with its outcome.
@@ -19,6 +23,16 @@ type SweepResult struct {
 // the worker count, and a single-worker sweep is bit-identical to a
 // parallel one.
 func Sweep(scenarios []Scenario, workers int) []SweepResult {
+	return SweepObs(scenarios, workers, nil)
+}
+
+// SweepObs is Sweep with per-worker observability: each worker records its
+// wall-clock run timings into "netsim.sweep.workerNN.run_secs" and its
+// completed-run count into "netsim.sweep.workerNN.runs", exposing pool
+// imbalance. The registry only times the workers; it is not injected into
+// the scenarios (set Scenario.Obs per scenario for in-run metrics). A nil
+// registry makes SweepObs identical to Sweep.
+func SweepObs(scenarios []Scenario, workers int, reg *obs.Registry) []SweepResult {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
@@ -29,22 +43,40 @@ func Sweep(scenarios []Scenario, workers int) []SweepResult {
 	if len(scenarios) == 0 {
 		return results
 	}
+	sweepSpan := reg.StartSpan("netsim.sweep")
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			var (
+				hRun    *obs.Histogram
+				ctrRuns *obs.Counter
+			)
+			if reg != nil {
+				hRun = reg.Histogram(fmt.Sprintf("netsim.sweep.worker%02d.run_secs", w), obs.TimeBuckets)
+				ctrRuns = reg.Counter(fmt.Sprintf("netsim.sweep.worker%02d.runs", w))
+			}
 			for i := range jobs {
+				var t0 time.Time
+				if reg != nil {
+					t0 = time.Now()
+				}
 				r, err := Run(scenarios[i])
 				results[i] = SweepResult{Scenario: scenarios[i], Result: r, Err: err}
+				if reg != nil {
+					hRun.Observe(time.Since(t0).Seconds())
+					ctrRuns.Inc()
+				}
 			}
-		}()
+		}(w)
 	}
 	for i := range scenarios {
 		jobs <- i
 	}
 	close(jobs)
 	wg.Wait()
+	sweepSpan.End()
 	return results
 }

@@ -1,5 +1,7 @@
 package netsim
 
+import "sort"
+
 // segment is the flow-level unit of transfer: a fixed-size slice of one
 // satellite's stream.
 type segment struct {
@@ -30,6 +32,9 @@ type source struct {
 	credit      float64
 	seq         int64
 	outstanding map[int64]*txState
+	// expired is expire's scratch buffer, reused across steps so the
+	// deterministic sort below costs no steady-state allocation.
+	expired []int64
 }
 
 // newSource initializes the endpoint.
@@ -73,11 +78,25 @@ func (s *source) ack(seq int64) bool {
 // expire retransmits every timed-out segment with exponentially backed-off
 // deadlines, abandoning those that exhaust the attempt budget. It returns
 // the retransmission and abandonment counts.
+//
+// Timed-out sequence numbers are collected and sorted before any segment
+// is emitted: ranging over the outstanding map directly would enqueue
+// retransmissions in randomized map-iteration order whenever two or more
+// segments expire in the same step (routine after an outage), silently
+// breaking the bit-identical determinism Run and Sweep promise.
 func (s *source) expire(now float64, alive bool, emit func(segment)) (retransmits, abandoned int) {
+	s.expired = s.expired[:0]
 	for seq, tx := range s.outstanding {
-		if now < tx.deadline {
-			continue
+		if now >= tx.deadline {
+			s.expired = append(s.expired, seq)
 		}
+	}
+	if len(s.expired) == 0 {
+		return 0, 0
+	}
+	sort.Slice(s.expired, func(i, j int) bool { return s.expired[i] < s.expired[j] })
+	for _, seq := range s.expired {
+		tx := s.outstanding[seq]
 		if tx.attempts >= s.cfg.MaxAttempts {
 			abandoned++
 			delete(s.outstanding, seq)

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Clock supplies timestamps in seconds for spans and events.
+type Clock interface {
+	Now() float64
+}
+
+// SimClock is a manually advanced clock: the instrumented simulator sets
+// it to the current simulation time each step, so every span and event is
+// stamped with deterministic sim time. Set/Now are atomic and safe for
+// concurrent readers.
+type SimClock struct {
+	bits atomic.Uint64
+}
+
+// Set advances the clock to t.
+func (c *SimClock) Set(t float64) {
+	c.bits.Store(math.Float64bits(t))
+}
+
+// Now implements Clock.
+func (c *SimClock) Now() float64 {
+	return math.Float64frombits(c.bits.Load())
+}
+
+// wallClock reports seconds elapsed since its creation.
+type wallClock struct {
+	start time.Time
+}
+
+// NewWallClock returns a clock measuring wall time from now.
+func NewWallClock() Clock {
+	return wallClock{start: time.Now()}
+}
+
+// Now implements Clock.
+func (c wallClock) Now() float64 {
+	return time.Since(c.start).Seconds()
+}
+
+// Span is an in-flight span timer. The zero Span (from a nil registry) is
+// inert: End returns 0 and records nothing. Span is a value type — opening
+// and closing one allocates nothing.
+type Span struct {
+	reg   *Registry
+	name  string
+	start float64
+}
+
+// End closes the span: it observes the duration into the histogram named
+// after the span (TimeBuckets layout), emits a "span" event to the sink,
+// and returns the duration in seconds.
+func (s Span) End() float64 {
+	if s.reg == nil {
+		return 0
+	}
+	end := s.reg.clock.Now()
+	d := end - s.start
+	s.reg.Histogram(s.name, TimeBuckets).Observe(d)
+	s.reg.Emit(s.name, "span", d)
+	return d
+}

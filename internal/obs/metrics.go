@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric. All methods are
+// safe on a nil receiver (no-ops) and for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n (negative deltas are ignored; counters only go up).
+func (c *Counter) Add(n int) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(int64(n))
+}
+
+// Value returns the current count (zero on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value-wins float metric.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set records v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the last set value (zero on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram accumulates a sample into fixed buckets plus running
+// sum/min/max, so it can report both exact moments and approximate
+// percentiles without retaining the sample. Observe takes a short mutex;
+// the layouts are fixed at creation so no allocation happens after that.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; counts has one extra overflow slot
+
+	mu       sync.Mutex
+	counts   []int64
+	count    int64
+	sum      float64
+	min, max float64
+}
+
+// newHistogram builds a histogram over the given upper bounds. A nil or
+// empty layout gets a single overflow bucket (moments still work).
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+}
+
+// Observe records one sample. NaN samples are dropped.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	// Linear scan: layouts are small (≤ ~24 buckets) and typically hit in
+	// the first few slots, which beats binary search at this size.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.mu.Lock()
+	h.counts[i]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations (zero on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the running sum of observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Mean returns the sample mean (zero when empty or nil).
+func (h *Histogram) Mean() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Quantile estimates the q-quantile from the bucket counts: it finds the
+// bucket holding the target rank and returns that bucket's upper bound
+// (the overflow bucket reports the observed max). The estimate is exact to
+// bucket resolution — the trade the fixed layout buys.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	if math.IsNaN(q) || q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(h.count-1))
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen > rank {
+			if i < len(h.bounds) {
+				b := h.bounds[i]
+				if b > h.max {
+					return h.max
+				}
+				return b
+			}
+			return h.max
+		}
+	}
+	return h.max
+}
+
+// snapshot copies the histogram state under its lock.
+func (h *Histogram) snapshot(name string) HistogramSnapshot {
+	s := HistogramSnapshot{
+		Name:   name,
+		Bounds: append([]float64(nil), h.bounds...),
+	}
+	s.P50 = h.Quantile(0.50)
+	s.P95 = h.Quantile(0.95)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s.Count = h.count
+	s.Sum = h.sum
+	s.Min = h.min
+	s.Max = h.max
+	if h.count > 0 {
+		s.Mean = h.sum / float64(h.count)
+	}
+	s.Counts = append([]int64(nil), h.counts...)
+	return s
+}
+
+// ExpBuckets returns n exponentially spaced upper bounds start, start·f,
+// start·f², … — the layout for quantities spanning orders of magnitude.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if n <= 0 || start <= 0 || factor <= 1 {
+		return nil
+	}
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// LinearBuckets returns n evenly spaced upper bounds start, start+w, … —
+// the layout for bounded quantities like utilizations.
+func LinearBuckets(start, width float64, n int) []float64 {
+	if n <= 0 || width <= 0 {
+		return nil
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = start + float64(i)*width
+	}
+	return b
+}
+
+// Shared fixed layouts, so the same quantity lands in the same buckets
+// across packages.
+var (
+	// TimeBuckets spans 1 µs to ~4.6 h (durations in seconds).
+	TimeBuckets = ExpBuckets(1e-6, 4, 17)
+	// SizeBuckets spans 1 kbit to ~68 Gbit (queue depths, payloads in bits).
+	SizeBuckets = ExpBuckets(1e3, 4, 14)
+	// RatioBuckets covers [0, 1] at 0.05 resolution (utilizations).
+	RatioBuckets = LinearBuckets(0.05, 0.05, 20)
+	// CountBuckets spans 1 to 4096 (batch sizes, attempt counts).
+	CountBuckets = ExpBuckets(1, 2, 13)
+)

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// errWriter fails after n successful writes.
+type errWriter struct {
+	n      int
+	closed bool
+}
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, fmt.Errorf("disk full")
+	}
+	w.n--
+	return len(p), nil
+}
+
+func (w *errWriter) Close() error {
+	w.closed = true
+	return nil
+}
+
+func TestJSONLSinkEmitsValidJSON(t *testing.T) {
+	var sb strings.Builder
+	sink := NewJSONLSink(&sb)
+	reg := New(WithSink(sink))
+	reg.SetTime(1.5)
+	reg.Emit("netsim.queue_bits", "sample", 4096)
+	sp := reg.StartSpan("netsim.run")
+	reg.SetTime(3.25)
+	sp.End()
+	reg.Emit("weird", "mark", math.Inf(1)) // non-finite values must still parse
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), sb.String())
+	}
+	for i, line := range lines {
+		var e struct {
+			T     float64 `json:"t"`
+			Name  string  `json:"name"`
+			Kind  string  `json:"kind"`
+			Value float64 `json:"value"`
+		}
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("line %d not JSON: %v\n%s", i, err, line)
+		}
+	}
+	var span struct {
+		T     float64 `json:"t"`
+		Value float64 `json:"value"`
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &span); err != nil {
+		t.Fatal(err)
+	}
+	if span.T != 3.25 || span.Value != 1.75 {
+		t.Errorf("span line = %+v, want t=3.25 value=1.75", span)
+	}
+}
+
+func TestJSONLSinkLatchesWriteError(t *testing.T) {
+	w := &errWriter{n: 0}
+	sink := NewJSONLSink(w)
+	// A bufio flush is what surfaces the error; fill past the buffer.
+	big := strings.Repeat("x", 9000)
+	sink.Emit(Event{Name: big})
+	if err := sink.Flush(); err == nil {
+		t.Fatal("flush should surface the write error")
+	}
+	if sink.Err() == nil {
+		t.Error("error not latched")
+	}
+	sink.Emit(Event{Name: "after"}) // must not panic, silently dropped
+	if err := sink.Close(); err == nil {
+		t.Error("close should report the latched error")
+	}
+	if !w.closed {
+		t.Error("close should still close the writer")
+	}
+}
+
+func TestJSONLSinkCloseClosesWriter(t *testing.T) {
+	w := &errWriter{n: 100}
+	sink := NewJSONLSink(w)
+	sink.Emit(Event{Name: "a", Kind: "mark"})
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !w.closed {
+		t.Error("underlying closer not closed")
+	}
+}
+
+func TestFormatJSONFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{1.5, "1.5"},
+		{0, "0"},
+		{math.NaN(), "0"},
+		{math.Inf(1), "0"},
+		{math.Inf(-1), "0"},
+		{-2.25e6, "-2.25e+06"},
+	}
+	for _, c := range cases {
+		if got := formatJSONFloat(c.in); got != c.want {
+			t.Errorf("formatJSONFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"spacedc/internal/discard"
+	"spacedc/internal/obs"
 	"spacedc/internal/thermal"
 	"spacedc/internal/units"
 )
@@ -33,6 +34,27 @@ type Governor struct {
 
 	storedJ float64 // energy currently buffered in the thermal mass
 	lastSec float64 // time the bucket was last advanced to
+
+	// Observability handles (nil unless Instrument was called; all
+	// operations on nil handles are no-ops). derated/shedding latch the
+	// current regime so only transitions count.
+	ctrDerate *obs.Counter
+	ctrShed   *obs.Counter
+	gStored   *obs.Gauge
+	derated   bool
+	shedding  bool
+}
+
+// Instrument points the governor's transition counters and stored-energy
+// gauge at reg: "resilience.governor.derate_transitions" counts entries
+// into the derated regime (capacity factor dropping below 1),
+// "resilience.governor.shed_transitions" entries into load shedding, and
+// "resilience.governor.stored_j" tracks the thermal-mass fill. A nil
+// registry detaches instrumentation.
+func (g *Governor) Instrument(reg *obs.Registry) {
+	g.ctrDerate = reg.Counter("resilience.governor.derate_transitions")
+	g.ctrShed = reg.Counter("resilience.governor.shed_transitions")
+	g.gStored = reg.Gauge("resilience.governor.stored_j")
 }
 
 // NewGovernor builds a governor for a device dissipating up to peak,
@@ -126,7 +148,15 @@ func (g *Governor) severity() float64 {
 // from 1 (cool) down to the sustainable fraction as the buffer fills.
 func (g *Governor) Factor(t float64) float64 {
 	g.advance(t)
-	return 1 - (1-g.minFactor())*g.severity()
+	f := 1 - (1-g.minFactor())*g.severity()
+	g.gStored.Set(g.storedJ)
+	if d := f < 1; d != g.derated {
+		g.derated = d
+		if d {
+			g.ctrDerate.Inc()
+		}
+	}
+	return f
 }
 
 // Dissipated implements sched.ThermalHook.
@@ -141,14 +171,24 @@ func (g *Governor) Dissipated(start, secs, joules float64) {
 // sched.Config.KeepProb.
 func (g *Governor) KeepFactor(t float64) float64 {
 	g.advance(t)
-	return 1 - g.Shed.Rate*g.severity()
+	keep := 1 - g.Shed.Rate*g.severity()
+	if s := keep < 1; s != g.shedding {
+		g.shedding = s
+		if s {
+			g.ctrShed.Inc()
+		}
+	}
+	return keep
 }
 
 // StoredJ exposes the buffered thermal energy (for tests and reports).
 func (g *Governor) StoredJ() float64 { return g.storedJ }
 
-// Reset returns the governor to its cold initial state.
+// Reset returns the governor to its cold initial state (instrumentation
+// handles and their accumulated counts stay attached).
 func (g *Governor) Reset() {
 	g.storedJ = 0
 	g.lastSec = 0
+	g.derated = false
+	g.shedding = false
 }

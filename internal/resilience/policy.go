@@ -44,6 +44,7 @@ func (r Retry) Execute(e sched.BatchExec) sched.BatchOutcome {
 	now := e.Start
 	for attempt := 0; attempt < max; attempt++ {
 		if attempt > 0 {
+			e.Obs.Counter("resilience.retry.retries").Inc()
 			o.Secs += back
 			now += back
 			back *= fac
@@ -53,9 +54,13 @@ func (r Retry) Execute(e sched.BatchExec) sched.BatchOutcome {
 		now += p.Secs
 		if !p.Upset {
 			o.Good = true
+			if attempt > 0 {
+				e.Obs.Counter("resilience.retry.recovered_batches").Inc()
+			}
 			return o
 		}
 	}
+	e.Obs.Counter("resilience.retry.exhausted_batches").Inc()
 	return o
 }
 
@@ -130,7 +135,9 @@ func (c Checkpoint) Execute(e sched.BatchExec) sched.BatchOutcome {
 		now += p.Secs
 		if p.Upset {
 			redos++
+			e.Obs.Counter("resilience.checkpoint.segment_redos").Inc()
 			if redos > maxRedos {
+				e.Obs.Counter("resilience.checkpoint.abandoned_batches").Inc()
 				return o // give up: Good stays false
 			}
 			o.Secs += restart
@@ -199,15 +206,24 @@ func (r Replicated) Execute(e sched.BatchExec) sched.BatchOutcome {
 			o.Accumulate(p)
 			now += p.Secs
 			if p.Reset {
+				e.Obs.Counter("resilience.vote.replica_reruns").Inc()
 				p2 := e.RunOnce(now)
 				o.Accumulate(p2)
 				now += p2.Secs
 				if p2.Reset {
 					survivors--
+					e.Obs.Counter("resilience.vote.replicas_lost").Inc()
 				}
 			}
 		}
 		o.Good = survivors >= n/2+1
+		if o.Good {
+			if o.Upsets > 0 {
+				e.Obs.Counter("resilience.vote.outvoted_upsets").Add(o.Upsets)
+			}
+		} else {
+			e.Obs.Counter("resilience.vote.majority_lost_batches").Inc()
+		}
 		return o
 	}
 	// Dual modular redundancy: both copies must finish upset-free to
@@ -228,8 +244,12 @@ func (r Replicated) Execute(e sched.BatchExec) sched.BatchOutcome {
 		}
 		if clean {
 			o.Good = true
+			if round > 0 {
+				e.Obs.Counter("resilience.vote.dmr_reexecutions").Add(round)
+			}
 			return o
 		}
 	}
+	e.Obs.Counter("resilience.vote.dmr_exhausted_batches").Inc()
 	return o
 }

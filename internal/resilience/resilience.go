@@ -15,6 +15,7 @@ package resilience
 import (
 	"fmt"
 
+	"spacedc/internal/obs"
 	"spacedc/internal/sched"
 )
 
@@ -53,6 +54,10 @@ type Scenario struct {
 	// means 30 s).
 	ResetFraction float64
 	ResetMTTRSec  float64
+	// Obs, when non-nil, receives the simulator's metrics plus per-policy
+	// evaluation spans ("resilience.eval.<policy>"). Observability is
+	// write-only: results are identical with or without it.
+	Obs *obs.Registry
 }
 
 // resetFraction / resetMTTR apply the scenario defaults.
@@ -116,7 +121,10 @@ func (s Scenario) Evaluate(pol Policy, baseline sched.Stats) (Report, error) {
 		faults.PauseActive = s.Env.InSAAAt
 	}
 	cfg.Faults = faults
+	cfg.Obs = s.Obs
+	span := s.Obs.StartSpan("resilience.eval." + pol.Name)
 	st, err := sched.Simulate(cfg, s.Proc)
+	span.End()
 	if err != nil {
 		return Report{}, err
 	}

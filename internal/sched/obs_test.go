@@ -1,0 +1,54 @@
+package sched
+
+import (
+	"testing"
+
+	"spacedc/internal/obs"
+)
+
+// TestObsCountersMirrorStats asserts (1) an instrumented simulation is
+// bit-identical to a bare one (observability is write-only) and (2) the
+// registry's counters equal the Stats fields they mirror.
+func TestObsCountersMirrorStats(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Faults = &FaultConfig{
+		Hazard:        func(float64) float64 { return 0.05 },
+		ResetFraction: 0.3,
+		ResetMTTRSec:  10,
+		Recovery:      nil,
+	}
+	proc := fixedRate{pixelsPerSec: 1e6, watts: 300}
+	bare, err := Simulate(cfg, proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Obs = obs.New()
+	instr, err := Simulate(cfg, proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare != instr {
+		t.Fatalf("instrumented run diverged from bare run:\nbare:  %+v\ninstr: %+v", bare, instr)
+	}
+	counters := map[string]int64{}
+	for _, c := range cfg.Obs.Snapshot().Counters {
+		counters[c.Name] = c.Value
+	}
+	want := map[string]int{
+		"sched.arrived":          instr.Arrived,
+		"sched.dropped":          instr.Dropped,
+		"sched.batches":          instr.Batches,
+		"sched.upsets":           instr.Upsets,
+		"sched.device_resets":    instr.DeviceResets,
+		"sched.corrupted_frames": instr.Corrupted,
+		"sched.processed_frames": instr.Processed,
+	}
+	for name, v := range want {
+		if counters[name] != int64(v) {
+			t.Errorf("%s = %d, want %d (Stats field)", name, counters[name], v)
+		}
+	}
+	if instr.Upsets == 0 || instr.Corrupted == 0 {
+		t.Errorf("hazard produced no upsets/corruption; scenario too weak: %+v", instr)
+	}
+}

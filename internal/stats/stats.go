@@ -5,7 +5,10 @@
 // ⌊q·(n−1)⌋) identical across packages.
 package stats
 
-import "sort"
+import (
+	"math"
+	"sort"
+)
 
 // Summary condenses a sample into the quantities the experiment tables
 // report.
@@ -56,10 +59,15 @@ func Percentile(xs []float64, q float64) float64 {
 }
 
 // PercentileSorted returns the q-quantile of an already-sorted sample using
-// the nearest-rank index ⌊q·(n−1)⌋.
+// the nearest-rank index ⌊q·(n−1)⌋. A NaN quantile yields the median: NaN
+// passes both range clamps below, and int(NaN·(n−1)) is a huge negative
+// index that would panic.
 func PercentileSorted(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {
 		return 0
+	}
+	if math.IsNaN(q) {
+		q = 0.5
 	}
 	if q < 0 {
 		q = 0

@@ -63,6 +63,33 @@ func TestPercentileBoundsClamped(t *testing.T) {
 	}
 }
 
+func TestPercentileSortedQuantileTable(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40, 50}
+	cases := []struct {
+		name string
+		q    float64
+		want float64
+	}{
+		{"min", 0, 10},
+		{"median", 0.5, 30},
+		{"max", 1, 50},
+		{"below-range", -3, 10},
+		{"above-range", 7, 50},
+		{"nan-yields-median", math.NaN(), 30},
+		{"neg-inf", math.Inf(-1), 10},
+		{"pos-inf", math.Inf(1), 50},
+	}
+	for _, c := range cases {
+		if got := PercentileSorted(sorted, c.q); got != c.want {
+			t.Errorf("%s: PercentileSorted(q=%v) = %v, want %v", c.name, c.q, got, c.want)
+		}
+	}
+	// NaN on an empty sample must stay the empty-sample zero, not panic.
+	if got := PercentileSorted(nil, math.NaN()); got != 0 {
+		t.Errorf("empty sample with NaN q = %v, want 0", got)
+	}
+}
+
 func TestPercentileSingleElement(t *testing.T) {
 	for _, q := range []float64{0, 0.5, 0.95, 1} {
 		if v := Percentile([]float64{42}, q); v != 42 {
