@@ -228,6 +228,29 @@ func BenchmarkTable9Strategies(b *testing.B) {
 	b.ReportMetric(float64(len(tables[0].Columns)-1), "strategies")
 }
 
+// BenchmarkRunAll times the full experiment sweep — the quantity the
+// worker pool exists to shrink — at one worker (the serial baseline) and
+// one worker per CPU. Output is bit-identical across worker counts
+// (TestRunAllBitIdentity), so the only thing that changes is wall time;
+// compare the two sub-benchmarks for the measured speedup on this
+// machine.
+func BenchmarkRunAll(b *testing.B) {
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		workers := workers
+		b.Run("workers-"+strconv.Itoa(workers), func(b *testing.B) {
+			var tables []report.Table
+			var err error
+			for i := 0; i < b.N; i++ {
+				tables, err = experiments.RunAllWorkers(workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(tables)), "tables")
+		})
+	}
+}
+
 // --- Extension benches: the §8-9 design space beyond the paper's
 // figures (SAA pauses, lifetime/boosting, thermal, power, disaggregation,
 // scheduling, revisit sizing). ---

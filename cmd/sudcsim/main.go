@@ -5,7 +5,9 @@
 //
 //	sudcsim list                  # list experiment IDs
 //	sudcsim fig9                  # run one experiment, print its tables
-//	sudcsim all                   # run every experiment
+//	sudcsim all                   # run every experiment (one worker per CPU)
+//	sudcsim -workers 8 all        # run every experiment on 8 pool workers
+//	sudcsim -workers 1 all        # serial sweep (output is bit-identical)
 //	sudcsim -csv fig9             # emit CSV instead of aligned text
 //	sudcsim -metrics all          # append the metrics table after the run
 //	sudcsim -trace run.jsonl all  # stream metric events to a JSONL file
@@ -29,8 +31,9 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print the metrics registry after the run")
 	trace := flag.String("trace", "", "stream metric events to this JSONL file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
+	workers := flag.Int("workers", 0, "worker pool size for 'all' (0 = one per CPU, 1 = serial; any count is bit-identical)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: sudcsim [-csv] [-metrics] [-trace file] [-pprof addr] <experiment-id>|all|list\n\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, "usage: sudcsim [-csv] [-metrics] [-trace file] [-pprof addr] [-workers n] <experiment-id>|all|list\n\nexperiments:\n")
 		for _, id := range experiments.IDs() {
 			fmt.Fprintf(os.Stderr, "  %s\n", id)
 		}
@@ -76,7 +79,7 @@ func main() {
 		}
 		return
 	case "all":
-		tables, err := experiments.RunAllObs(reg)
+		tables, err := experiments.RunAllObsWorkers(reg, *workers)
 		if err != nil {
 			fatal(err)
 		}

@@ -7,7 +7,9 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"spacedc/internal/datagen"
@@ -70,13 +72,14 @@ func RunObs(id string, reg *obs.Registry) ([]report.Table, error) {
 	return tables, nil
 }
 
-// RunAll executes every experiment in ID order.
+// RunAll executes every experiment serially in ID order.
 func RunAll() ([]report.Table, error) {
 	return RunAllObs(nil)
 }
 
-// RunAllObs executes every experiment in ID order, timing the whole sweep
-// ("experiments.runall") and each experiment individually via RunObs.
+// RunAllObs executes every experiment serially in ID order, timing the
+// whole sweep ("experiments.runall") and each experiment individually via
+// RunObs. It stops at the first failure.
 func RunAllObs(reg *obs.Registry) ([]report.Table, error) {
 	span := reg.StartSpan("experiments.runall")
 	defer span.End()
@@ -87,6 +90,85 @@ func RunAllObs(reg *obs.Registry) ([]report.Table, error) {
 			return nil, fmt.Errorf("experiments: %s: %w", id, err)
 		}
 		out = append(out, tables...)
+	}
+	return out, nil
+}
+
+// RunAllWorkers executes every experiment across a pool of workers.
+func RunAllWorkers(workers int) ([]report.Table, error) {
+	return RunAllObsWorkers(nil, workers)
+}
+
+// RunAllObsWorkers is the pooled RunAllObs, shaped like netsim.Sweep: N
+// workers pull experiment IDs from a channel and the tables are
+// reassembled in ID order, so the output is bit-identical to the serial
+// sweep for any worker count. workers ≤ 0 means one worker per CPU.
+//
+// Every driver owns all of its state (the registry map is read-only after
+// init and the obs handles are concurrency-safe), so experiments only
+// share the result slot each worker writes. Each worker additionally
+// records its wall-clock run timings into
+// "experiments.pool.workerNN.run_secs" and its completed-run count into
+// "experiments.pool.workerNN.runs", exposing pool imbalance.
+//
+// Unlike the serial sweep, the pool runs every experiment even when one
+// fails (the failure surfaces only after reassembly), and the error
+// returned is the failing experiment that comes first in ID order — again
+// independent of scheduling.
+func RunAllObsWorkers(reg *obs.Registry, workers int) ([]report.Table, error) {
+	ids := IDs()
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	span := reg.StartSpan("experiments.runall")
+	defer span.End()
+	type outcome struct {
+		tables []report.Table
+		err    error
+	}
+	results := make([]outcome, len(ids))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var (
+				hRun    *obs.Histogram
+				ctrRuns *obs.Counter
+			)
+			if reg != nil {
+				hRun = reg.Histogram(fmt.Sprintf("experiments.pool.worker%02d.run_secs", w), obs.TimeBuckets)
+				ctrRuns = reg.Counter(fmt.Sprintf("experiments.pool.worker%02d.runs", w))
+			}
+			for i := range jobs {
+				var t0 time.Time
+				if reg != nil {
+					t0 = time.Now()
+				}
+				tables, err := RunObs(ids[i], reg)
+				results[i] = outcome{tables: tables, err: err}
+				if reg != nil {
+					hRun.Observe(time.Since(t0).Seconds())
+					ctrRuns.Inc()
+				}
+			}
+		}(w)
+	}
+	for i := range ids {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	var out []report.Table
+	for i, r := range results {
+		if r.err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", ids[i], r.err)
+		}
+		out = append(out, r.tables...)
 	}
 	return out, nil
 }

@@ -185,3 +185,87 @@ func TestEpochRebuildSeedsNewFaultClocks(t *testing.T) {
 		}
 	}
 }
+
+// TestGEOStarEpochRebuildSeedsNewFaultClocks is the GEO-star twin of the
+// cluster regression above: an epoch rebuild that changes GEOSinks
+// re-shards every satellite across a different set of sink nodes, so most
+// uplinks get (from, to) keys the previous graph never had. Those adopted
+// links must draw fault clocks (not stay immortal at nextFlip = +Inf),
+// new satellites must draw node clocks, and the structural geo flag on
+// the sink nodes must survive adoptState untouched — a GEO sink that lost
+// its flag would start being swept by the LEO eclipse arc.
+func TestGEOStarEpochRebuildSeedsNewFaultClocks(t *testing.T) {
+	cfg := FaultConfig{LinkOutage: 0.2, LinkMTTRSec: 5, SatMTBFSec: 60, SatMTTRSec: 30}
+	starSpec := TopologySpec{Kind: GEOStarTopology, Sats: 9, GEOSinks: 3, Tech: isl.Optical10G}
+	g1, err := BuildGraph(starSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	fs := newFaultState(cfg, starSpec, g1, rng)
+	for _, l := range g1.Links {
+		if math.IsInf(l.nextFlip, 1) {
+			t.Fatalf("initial seeding left link %d->%d without a fault clock", l.From, l.To)
+		}
+	}
+
+	// Rebuild with more sinks and two extra satellites: sink node IDs
+	// shift from 9..11 to 11..15 and the per-satellite sink assignment
+	// re-shards, so the uplink key set changes almost entirely.
+	wideSpec := TopologySpec{Kind: GEOStarTopology, Sats: 11, GEOSinks: 5, Tech: isl.Optical10G}
+	g2, err := BuildGraph(wideSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2.adoptState(g1)
+	unmatched := 0
+	for _, l := range g2.Links {
+		if math.IsInf(l.nextFlip, 1) {
+			unmatched++
+		}
+	}
+	if unmatched == 0 {
+		t.Fatal("rebuild did not introduce any new uplinks; the GEOSinks change is not exercising adoption")
+	}
+
+	fs.seed(50, g2)
+	for _, l := range g2.Links {
+		if math.IsInf(l.nextFlip, 1) {
+			t.Errorf("uplink %d->%d still immortal after adoption-time seeding", l.From, l.To)
+		}
+		if l.nextFlip < 0 {
+			t.Errorf("uplink %d->%d drew a negative fault clock %v", l.From, l.To, l.nextFlip)
+		}
+	}
+	for _, s := range g2.Sources {
+		if math.IsInf(g2.nodes[s].nextFlip, 1) {
+			t.Errorf("satellite %d still immortal after adoption-time seeding", s)
+		}
+	}
+	// adoptState must not clobber structural node identity: every sink of
+	// the new layout keeps geo = true (old node 9 was a GEO sink, new node
+	// 9 is a satellite — and vice versa for 11..15 — so a dynamic-state
+	// copy that dragged geo across would corrupt both directions).
+	for _, s := range g2.Sinks {
+		if !g2.nodes[s].geo {
+			t.Errorf("sink node %d lost its geo flag across the rebuild", s)
+		}
+	}
+	for _, s := range g2.Sources {
+		if g2.nodes[s].geo {
+			t.Errorf("satellite node %d gained a geo flag across the rebuild", s)
+		}
+	}
+
+	// Re-seeding must remain a no-op on already-drawn clocks.
+	before := make([]float64, len(g2.Links))
+	for i, l := range g2.Links {
+		before[i] = l.nextFlip
+	}
+	fs.seed(60, g2)
+	for i, l := range g2.Links {
+		if l.nextFlip != before[i] {
+			t.Errorf("re-seeding rewrote uplink %d->%d clock %v -> %v", l.From, l.To, before[i], l.nextFlip)
+		}
+	}
+}

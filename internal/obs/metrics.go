@@ -79,6 +79,14 @@ func newHistogram(bounds []float64) *Histogram {
 	return &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
 }
 
+// NewHistogram builds a standalone histogram over the given bucket upper
+// bounds, outside any registry. Simulators use it as a memory-flat sample
+// accumulator (exact count/sum/min/max, bucket-resolution quantiles) even
+// when observability is disabled.
+func NewHistogram(bounds []float64) *Histogram {
+	return newHistogram(bounds)
+}
+
 // Observe records one sample. NaN samples are dropped.
 func (h *Histogram) Observe(v float64) {
 	if h == nil || math.IsNaN(v) {
@@ -136,10 +144,40 @@ func (h *Histogram) Mean() float64 {
 	return h.sum / float64(h.count)
 }
 
-// Quantile estimates the q-quantile from the bucket counts: it finds the
-// bucket holding the target rank and returns that bucket's upper bound
-// (the overflow bucket reports the observed max). The estimate is exact to
-// bucket resolution — the trade the fixed layout buys.
+// Min returns the smallest observation (zero when empty or nil).
+func (h *Histogram) Min() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation (zero when empty or nil).
+func (h *Histogram) Max() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile estimates the q-quantile from the bucket counts using the same
+// nearest-rank convention as stats.PercentileSorted (index ⌊q·(n−1)⌋): it
+// finds the bucket holding the target rank and interpolates linearly
+// within it, with the bucket edges tightened to the observed min/max. The
+// rank's true sample lies in the same bucket, so the estimate is always
+// within one bucket width of the exact sorted-sample quantile — the trade
+// the fixed O(buckets) layout buys. q ≤ 0 and q ≥ 1 report the exact
+// tracked min and max.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
 		return 0
@@ -155,20 +193,36 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if h.count == 0 {
 		return 0
 	}
+	if q == 0 {
+		return h.min
+	}
+	if q == 1 {
+		return h.max
+	}
 	rank := int64(q * float64(h.count-1))
-	var seen int64
+	var before int64 // observations in buckets preceding the rank's bucket
 	for i, c := range h.counts {
-		seen += c
-		if seen > rank {
-			if i < len(h.bounds) {
-				b := h.bounds[i]
-				if b > h.max {
-					return h.max
-				}
-				return b
-			}
-			return h.max
+		if before+c <= rank {
+			before += c
+			continue
 		}
+		// Bucket i covers sorted ranks [before, before+c); tighten its
+		// nominal edges (bounds[i-1], bounds[i]] to the observed range.
+		lo, hi := h.min, h.max
+		if i > 0 && h.bounds[i-1] > lo {
+			lo = h.bounds[i-1]
+		}
+		if i < len(h.bounds) && h.bounds[i] < hi {
+			hi = h.bounds[i]
+		}
+		if hi < lo {
+			hi = lo
+		}
+		// Upper-leaning position: buckets are (lo, hi], so the last rank
+		// in the bucket maps to hi, matching the pre-interpolation
+		// upper-bound convention at bucket edges.
+		frac := float64(rank-before+1) / float64(c)
+		return lo + frac*(hi-lo)
 	}
 	return h.max
 }
@@ -233,4 +287,10 @@ var (
 	RatioBuckets = LinearBuckets(0.05, 0.05, 20)
 	// CountBuckets spans 1 to 4096 (batch sizes, attempt counts).
 	CountBuckets = ExpBuckets(1, 2, 13)
+	// LatencyBuckets spans 10 ms to ~1.6 h at 15% resolution (96 buckets).
+	// The finer layout exists for accumulators whose quantiles are
+	// *reported*, not just monitored: with within-bucket interpolation the
+	// p95 it yields stays within one 15%-wide bucket of the exact
+	// sorted-sample value, at O(buckets) memory over month-scale runs.
+	LatencyBuckets = ExpBuckets(0.01, 1.15, 96)
 )

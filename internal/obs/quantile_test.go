@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	statsutil "spacedc/internal/stats"
+)
+
+// bucketWidth returns the width of the layout bucket that holds v: the
+// tolerance the histogram quantile is allowed. Values below the first
+// bound use the first bucket's span from zero; values beyond the last
+// bound fall in the open overflow bucket, where the histogram clamps to
+// the observed max, so the caller should keep samples inside the layout.
+func bucketWidth(bounds []float64, v float64) float64 {
+	i := 0
+	for i < len(bounds) && v > bounds[i] {
+		i++
+	}
+	if i >= len(bounds) {
+		return math.Inf(1)
+	}
+	if i == 0 {
+		return bounds[0]
+	}
+	return bounds[i] - bounds[i-1]
+}
+
+// TestQuantileTracksPercentileSorted asserts the bucket-interpolated
+// quantile stays within one bucket width of the exact sorted-sample
+// percentile (same nearest-rank convention) on qualitatively different
+// sample shapes: uniform, exponential (heavy tail), and point mass
+// (degenerate single-value distribution).
+func TestQuantileTracksPercentileSorted(t *testing.T) {
+	const n = 20000
+	rng := rand.New(rand.NewSource(7))
+	shapes := map[string]func() float64{
+		"uniform":     func() float64 { return 0.05 + 40*rng.Float64() },
+		"exponential": func() float64 { return 0.05 + 3*rng.ExpFloat64() },
+		"point-mass":  func() float64 { return 2.7 },
+	}
+	layouts := map[string][]float64{
+		"latency": LatencyBuckets,
+		"time":    TimeBuckets,
+	}
+	for shapeName, draw := range shapes {
+		for layoutName, bounds := range layouts {
+			h := NewHistogram(bounds)
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = draw()
+				h.Observe(xs[i])
+			}
+			for _, q := range []float64{0, 0.5, 0.9, 0.95, 0.99, 1} {
+				exact := statsutil.Percentile(xs, q)
+				got := h.Quantile(q)
+				tol := bucketWidth(bounds, exact)
+				if math.IsInf(tol, 1) {
+					t.Fatalf("%s/%s q%v: exact %v beyond layout; pick in-range samples", shapeName, layoutName, q, exact)
+				}
+				if math.Abs(got-exact) > tol+1e-12 {
+					t.Errorf("%s/%s q%v: histogram %v vs exact %v — off by %v, tolerance one bucket width %v",
+						shapeName, layoutName, q, got, exact, math.Abs(got-exact), tol)
+				}
+			}
+			// Point-mass distributions must come back exact: min == max
+			// pins every bucket to the single observed value.
+			if shapeName == "point-mass" {
+				if got := h.Quantile(0.95); got != 2.7 {
+					t.Errorf("point-mass/%s p95 = %v, want exactly 2.7", layoutName, got)
+				}
+			}
+		}
+	}
+}
+
+// TestQuantileEdges pins the exact-endpoint and empty/nil behavior.
+func TestQuantileEdges(t *testing.T) {
+	h := NewHistogram(LatencyBuckets)
+	for _, v := range []float64{0.3, 1.7, 9.2} {
+		h.Observe(v)
+	}
+	if got := h.Quantile(0); got != 0.3 {
+		t.Errorf("q0 = %v, want exact min 0.3", got)
+	}
+	if got := h.Quantile(1); got != 9.2 {
+		t.Errorf("q1 = %v, want exact max 9.2", got)
+	}
+	if got := h.Quantile(math.NaN()); got != 0.3 {
+		t.Errorf("NaN quantile = %v, want min (clamped to 0)", got)
+	}
+	if got := h.Quantile(-3); got != 0.3 {
+		t.Errorf("q-3 = %v, want min", got)
+	}
+	if got := h.Quantile(7); got != 9.2 {
+		t.Errorf("q7 = %v, want max", got)
+	}
+	if got := NewHistogram(nil).Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil quantile = %v, want 0", got)
+	}
+	if nilH.Min() != 0 || nilH.Max() != 0 {
+		t.Error("nil min/max non-zero")
+	}
+}
