@@ -31,7 +31,7 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print the metrics registry after the run")
 	trace := flag.String("trace", "", "stream metric events to this JSONL file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
-	workers := flag.Int("workers", 0, "worker pool size for 'all' (0 = one per CPU, 1 = serial; any count is bit-identical)")
+	workers := flag.Int("workers", 0, "experiment-level workers for 'all' (0 = one per CPU, 1 = serial; any count is bit-identical); grid experiments also split into sub-jobs on the shared pool, bounded by a global token budget so total concurrency never oversubscribes the CPUs")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: sudcsim [-csv] [-metrics] [-trace file] [-pprof addr] [-workers n] <experiment-id>|all|list\n\nexperiments:\n")
 		for _, id := range experiments.IDs() {

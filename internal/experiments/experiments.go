@@ -7,13 +7,12 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 	"time"
 
 	"spacedc/internal/datagen"
 	"spacedc/internal/obs"
+	"spacedc/internal/pool"
 	"spacedc/internal/report"
 )
 
@@ -99,17 +98,25 @@ func RunAllWorkers(workers int) ([]report.Table, error) {
 	return RunAllObsWorkers(nil, workers)
 }
 
-// RunAllObsWorkers is the pooled RunAllObs, shaped like netsim.Sweep: N
-// workers pull experiment IDs from a channel and the tables are
+// RunAllObsWorkers is the pooled RunAllObs: the experiment IDs fan out as
+// jobs on the shared worker pool (internal/pool) and the tables are
 // reassembled in ID order, so the output is bit-identical to the serial
-// sweep for any worker count. workers ≤ 0 means one worker per CPU.
+// sweep for any worker count. workers ≤ 0 means one slot per CPU;
+// workers=1 claims every experiment on the calling goroutine.
 //
 // Every driver owns all of its state (the registry map is read-only after
 // init and the obs handles are concurrency-safe), so experiments only
-// share the result slot each worker writes. Each worker additionally
+// share the result slot each job writes. Each pool slot additionally
 // records its wall-clock run timings into
 // "experiments.pool.workerNN.run_secs" and its completed-run count into
 // "experiments.pool.workerNN.runs", exposing pool imbalance.
+//
+// Drivers that fan out internally (ext-netsim's scenario sweep,
+// ext-lossy's quant grid, table4's imagery suites) schedule their sub-jobs
+// into the same shared pool, so the whole tree of work competes for one
+// global token budget: experiment-level and sub-experiment-level
+// parallelism compose without oversubscribing the machine, which is what
+// lifts the sweep past the Amdahl bound a long opaque experiment imposes.
 //
 // Unlike the serial sweep, the pool runs every experiment even when one
 // fails (the failure surfaces only after reassembly), and the error
@@ -117,12 +124,6 @@ func RunAllWorkers(workers int) ([]report.Table, error) {
 // independent of scheduling.
 func RunAllObsWorkers(reg *obs.Registry, workers int) ([]report.Table, error) {
 	ids := IDs()
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > len(ids) {
-		workers = len(ids)
-	}
 	span := reg.StartSpan("experiments.runall")
 	defer span.End()
 	type outcome struct {
@@ -130,39 +131,11 @@ func RunAllObsWorkers(reg *obs.Registry, workers int) ([]report.Table, error) {
 		err    error
 	}
 	results := make([]outcome, len(ids))
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			var (
-				hRun    *obs.Histogram
-				ctrRuns *obs.Counter
-			)
-			if reg != nil {
-				hRun = reg.Histogram(fmt.Sprintf("experiments.pool.worker%02d.run_secs", w), obs.TimeBuckets)
-				ctrRuns = reg.Counter(fmt.Sprintf("experiments.pool.worker%02d.runs", w))
-			}
-			for i := range jobs {
-				var t0 time.Time
-				if reg != nil {
-					t0 = time.Now()
-				}
-				tables, err := RunObs(ids[i], reg)
-				results[i] = outcome{tables: tables, err: err}
-				if reg != nil {
-					hRun.Observe(time.Since(t0).Seconds())
-					ctrRuns.Inc()
-				}
-			}
-		}(w)
-	}
-	for i := range ids {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
+	pool.MapObs(len(ids), workers, reg, "experiments.pool", func(i int) error {
+		tables, err := RunObs(ids[i], reg)
+		results[i] = outcome{tables: tables, err: err}
+		return nil
+	})
 	var out []report.Table
 	for i, r := range results {
 		if r.err != nil {

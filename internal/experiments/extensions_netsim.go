@@ -55,7 +55,11 @@ func ExtNetsim() ([]report.Table, error) {
 		sc.Faults = netsim.FaultConfig{LinkOutage: outage, LinkMTTRSec: 30}
 		scenarios = append(scenarios, sc)
 	}
-	// The sweep runner fans the scenarios out across cores.
+	// The sweep's per-scenario sub-jobs schedule into pool.Shared(), the
+	// same token budget the sibling experiments draw on, so running this
+	// experiment inside RunAllWorkers adds parallelism without
+	// oversubscribing CPUs — and the ID-ordered reassembly keeps the table
+	// bit-identical at any worker count.
 	for _, sr := range netsim.Sweep(scenarios, 0) {
 		if sr.Err != nil {
 			return nil, sr.Err

@@ -37,8 +37,12 @@ func poolCounters(reg *obs.Registry) (completed, tables int64) {
 // TestRunAllBitIdentity asserts the worker pool is invisible in the
 // output: the serial sweep, a one-worker pool, and an eight-worker pool
 // must produce byte-identical rendered tables, and the sweep-level obs
-// counters must agree across all three modes. Run with -count=2 in CI to
-// catch map-order nondeterminism hiding behind a lucky schedule.
+// counters must agree across all three modes. The grid experiments
+// (ext-netsim, ext-lossy, table4) decompose into sub-jobs on the shared
+// pool, so every mode here also exercises nested submission — experiment
+// workers and their sub-jobs interleaving on one token budget. Run with
+// -count=2 in CI to catch map-order nondeterminism hiding behind a lucky
+// schedule.
 func TestRunAllBitIdentity(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs every experiment three times; skipped in -short")
@@ -75,6 +79,38 @@ func TestRunAllBitIdentity(t *testing.T) {
 		}
 		if pc != int64(len(IDs())) {
 			t.Errorf("workers=%d completed %d experiments, want %d", workers, pc, len(IDs()))
+		}
+	}
+}
+
+// TestNestedGridExperimentsDeterministic runs just the experiments that
+// fan sub-jobs into the shared pool and asserts each renders identically
+// standalone (sub-jobs only) and inside a pooled sweep (sub-jobs nested
+// under experiment workers): scheduling depth must never reach the rows.
+func TestNestedGridExperimentsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the grid experiments twice; skipped in -short")
+	}
+	gridIDs := []string{"ext-lossy", "ext-netsim", "table4"}
+	standalone := make(map[string]string, len(gridIDs))
+	for _, id := range gridIDs {
+		tables, err := Run(id)
+		if err != nil {
+			t.Fatalf("%s standalone: %v", id, err)
+		}
+		standalone[id] = renderAll(t, tables)
+	}
+	all, err := RunAllWorkers(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := make(map[string]string)
+	for _, tb := range all {
+		byID[tb.ID] = tb.String() + "\n"
+	}
+	for _, id := range gridIDs {
+		if byID[id] != standalone[id] {
+			t.Errorf("%s rendered differently nested under the pooled sweep than standalone", id)
 		}
 	}
 }

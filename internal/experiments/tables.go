@@ -14,6 +14,7 @@ import (
 	"spacedc/internal/gpusim"
 	"spacedc/internal/groundstation"
 	"spacedc/internal/isl"
+	"spacedc/internal/pool"
 	"spacedc/internal/report"
 	"spacedc/internal/units"
 )
@@ -90,23 +91,29 @@ var _ = register("table4", Table4)
 // and SAR imagery, measured on synthetic scenes with the statistics of the
 // CrowdAI (urban RGB) and xView3 (maritime SAR) datasets.
 func Table4() ([]report.Table, error) {
-	rgbScene, err := eoimage.Generate(eoimage.Config{
-		Width: 384, Height: 384, Seed: 42, Kind: eoimage.Urban, CloudFraction: 0.3})
-	if err != nil {
-		return nil, err
-	}
-	sarScene, err := eoimage.GenerateSAR(eoimage.SARConfig{
-		Width: 384, Height: 384, Seed: 42, ShipCount: 8,
-		NoDataBorder: 110, QuantStep: 64, SpeckleLooks: 32})
-	if err != nil {
-		return nil, err
-	}
-
-	rgbResults, err := compress.MeasureSuite(rgbScene.Width, rgbScene.Height, compress.RGB8, rgbScene.Interleaved())
-	if err != nil {
-		return nil, err
-	}
-	sarResults, err := compress.MeasureSuite(sarScene.Width, sarScene.Height, compress.Gray16, sarScene.Bytes())
+	// The two imagery suites are independent end to end (scene synthesis
+	// plus codec sweep), so they run as sub-jobs on the shared pool and
+	// reassemble in row order — bit-identical output at any worker count.
+	var rgbResults, sarResults []compress.Result
+	err := pool.Map(2, 0, func(i int) error {
+		if i == 0 {
+			rgbScene, err := eoimage.Generate(eoimage.Config{
+				Width: 384, Height: 384, Seed: 42, Kind: eoimage.Urban, CloudFraction: 0.3})
+			if err != nil {
+				return err
+			}
+			rgbResults, err = compress.MeasureSuite(rgbScene.Width, rgbScene.Height, compress.RGB8, rgbScene.Interleaved())
+			return err
+		}
+		sarScene, err := eoimage.GenerateSAR(eoimage.SARConfig{
+			Width: 384, Height: 384, Seed: 42, ShipCount: 8,
+			NoDataBorder: 110, QuantStep: 64, SpeckleLooks: 32})
+		if err != nil {
+			return err
+		}
+		sarResults, err = compress.MeasureSuite(sarScene.Width, sarScene.Height, compress.Gray16, sarScene.Bytes())
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}

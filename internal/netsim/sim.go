@@ -55,11 +55,21 @@ func Run(scenario Scenario) (Result, error) {
 
 	res := Result{Name: sc.Name, MeasuredSec: sc.DurationSec - sc.WarmupSec}
 	var (
-		latencies             []float64
 		offeredBits, deliBits float64
 		inflight              []arrival
 		dirty                 bool
 	)
+
+	// Latency accumulator: a run-local fixed-bucket histogram instead of a
+	// per-segment slice keeps fault-heavy runs memory-flat (O(buckets), not
+	// O(delivered segments) — retransmission storms used to grow the slice
+	// without bound). Mean and max stay exact from the running sum/max; P95
+	// is interpolated from the buckets, within one bucket width (~15%) of
+	// the sorted-sample value, the same trade sched.Simulate already made.
+	// The accumulator is local so runs sharing a registry cannot leak
+	// samples into each other's Result; it merges into the registry once at
+	// the end, where -metrics runs expose the full distribution.
+	lat := obs.NewHistogram(obs.LatencyBuckets)
 
 	// enqueue pushes seg onto nodeID's routed out-link, dropping it when
 	// the node is partitioned or the queue is full; the source's timer
@@ -91,7 +101,11 @@ func Run(scenario Scenario) (Result, error) {
 				if measure {
 					res.DeliveredSegs++
 					deliBits += a.seg.bits
-					latencies = append(latencies, now-a.seg.born)
+					l := now - a.seg.born
+					lat.Observe(l)
+					if latencyTap != nil {
+						latencyTap(l)
+					}
 				}
 			} else {
 				if measure {
@@ -213,10 +227,16 @@ func Run(scenario Scenario) (Result, error) {
 	if offeredBits > 0 {
 		res.DeliveryRatio = deliBits / offeredBits
 	}
-	res.LatencySec = stats.Summarize(latencies)
+	res.LatencySec = stats.Summary{
+		Count: int(lat.Count()),
+		Mean:  lat.Mean(),
+		P95:   lat.Quantile(0.95),
+		Max:   lat.Max(),
+	}
 	res.finalizeLinks(g)
 	if reg != nil {
 		reg.SetTime(sc.DurationSec)
+		reg.Histogram("netsim.segment_latency_secs", obs.LatencyBuckets).Merge(lat)
 		reg.Counter("netsim.delivered_segs").Add(res.DeliveredSegs)
 		reg.Counter("netsim.duplicates").Add(res.Duplicates)
 		reg.Counter("netsim.retransmits").Add(res.Retransmits)
@@ -237,19 +257,29 @@ func Run(scenario Scenario) (Result, error) {
 // completed segment to deliver with its propagation due time. Partial
 // service persists in headDone across steps. It returns the bits actually
 // served this step (independent of the measurement window).
+//
+// Completed segments are popped by compacting the queue in place after the
+// drain loop rather than re-slicing the head forward: advancing the base
+// pointer shrinks the usable capacity, so the next enqueue burst
+// reallocated the whole backing array — an O(segments) allocation pattern
+// over fault-heavy runs. Compaction reuses the array, keeping steady-state
+// service allocation-free.
 func (l *Link) serve(now, dt float64, measure bool, deliver func(seg segment, to int, due float64)) float64 {
 	budget := l.CapacityBps * dt
 	served := 0.0
-	for budget > 0 && len(l.q) > 0 {
-		head := l.q[0]
+	popped := 0
+	for budget > 0 && popped < len(l.q) {
+		head := l.q[popped]
 		need := head.bits - l.headDone
 		if need > budget {
 			l.headDone += budget
-			return served + budget
+			served += budget
+			budget = 0
+			break
 		}
 		budget -= need
 		served += need
-		l.q = l.q[1:]
+		popped++
 		l.qBits -= head.bits
 		if l.qBits < 0 {
 			l.qBits = 0
@@ -260,5 +290,14 @@ func (l *Link) serve(now, dt float64, measure bool, deliver func(seg segment, to
 		}
 		deliver(head, l.To, now+l.DelaySec)
 	}
+	if popped > 0 {
+		l.q = l.q[:copy(l.q, l.q[popped:])]
+	}
 	return served
 }
+
+// latencyTap, when set by a test, receives every measured segment's exact
+// delivery latency. It exists so accuracy tests can compare the
+// bucket-derived Result.LatencySec against an exact stats.Summarize of the
+// same samples; production code never sets it.
+var latencyTap func(latencySec float64)

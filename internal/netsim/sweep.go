@@ -1,12 +1,8 @@
 package netsim
 
 import (
-	"fmt"
-	"runtime"
-	"sync"
-	"time"
-
 	"spacedc/internal/obs"
+	"spacedc/internal/pool"
 )
 
 // SweepResult pairs one scenario with its outcome.
@@ -16,67 +12,40 @@ type SweepResult struct {
 	Err      error
 }
 
-// Sweep executes every scenario across a pool of workers and returns the
-// results in input order. workers ≤ 0 means one worker per CPU. Each run
-// owns all of its state (graph, RNG, queues), so the only sharing is the
-// result slot each worker writes — scenario i's result is independent of
-// the worker count, and a single-worker sweep is bit-identical to a
-// parallel one.
+// Sweep executes every scenario across the shared worker pool and returns
+// the results in input order. workers ≤ 0 means one slot per CPU; workers=1
+// runs serially on the caller. Each run owns all of its state (graph, RNG,
+// queues), so the only sharing is the result slot each job writes —
+// scenario i's result is independent of the worker count, and a single-slot
+// sweep is bit-identical to a parallel one. Errors are carried per scenario
+// in SweepResult.Err, never aggregated, so a failing scenario stays
+// attached to its own grid position.
+//
+// Because the sweep schedules into pool.Shared(), a Sweep nested inside a
+// pooled experiment (the ext-netsim sub-jobs) draws on the same global
+// token budget as its sibling experiments instead of oversubscribing the
+// machine with a private worker set.
 func Sweep(scenarios []Scenario, workers int) []SweepResult {
 	return SweepObs(scenarios, workers, nil)
 }
 
-// SweepObs is Sweep with per-worker observability: each worker records its
-// wall-clock run timings into "netsim.sweep.workerNN.run_secs" and its
+// SweepObs is Sweep with per-worker observability: each pool slot records
+// its wall-clock run timings into "netsim.sweep.workerNN.run_secs" and its
 // completed-run count into "netsim.sweep.workerNN.runs", exposing pool
 // imbalance. The registry only times the workers; it is not injected into
 // the scenarios (set Scenario.Obs per scenario for in-run metrics). A nil
 // registry makes SweepObs identical to Sweep.
 func SweepObs(scenarios []Scenario, workers int, reg *obs.Registry) []SweepResult {
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > len(scenarios) {
-		workers = len(scenarios)
-	}
 	results := make([]SweepResult, len(scenarios))
 	if len(scenarios) == 0 {
 		return results
 	}
 	sweepSpan := reg.StartSpan("netsim.sweep")
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			var (
-				hRun    *obs.Histogram
-				ctrRuns *obs.Counter
-			)
-			if reg != nil {
-				hRun = reg.Histogram(fmt.Sprintf("netsim.sweep.worker%02d.run_secs", w), obs.TimeBuckets)
-				ctrRuns = reg.Counter(fmt.Sprintf("netsim.sweep.worker%02d.runs", w))
-			}
-			for i := range jobs {
-				var t0 time.Time
-				if reg != nil {
-					t0 = time.Now()
-				}
-				r, err := Run(scenarios[i])
-				results[i] = SweepResult{Scenario: scenarios[i], Result: r, Err: err}
-				if reg != nil {
-					hRun.Observe(time.Since(t0).Seconds())
-					ctrRuns.Inc()
-				}
-			}
-		}(w)
-	}
-	for i := range scenarios {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
+	pool.MapObs(len(scenarios), workers, reg, "netsim.sweep", func(i int) error {
+		r, err := Run(scenarios[i])
+		results[i] = SweepResult{Scenario: scenarios[i], Result: r, Err: err}
+		return nil
+	})
 	sweepSpan.End()
 	return results
 }

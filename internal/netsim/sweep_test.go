@@ -74,6 +74,52 @@ func TestSweepEmptyAndOversizedPool(t *testing.T) {
 	}
 }
 
+// TestSweepNegativeWorkers: any non-positive worker count means "use all
+// cores", and the ID-ordered reassembly keeps the output identical to a
+// serial sweep regardless.
+func TestSweepNegativeWorkers(t *testing.T) {
+	scs := sweepScenarios(20)
+	serial := Sweep(scs, 1)
+	negative := Sweep(scs, -3)
+	if len(negative) != len(scs) {
+		t.Fatalf("negative-worker sweep returned %d results, want %d", len(negative), len(scs))
+	}
+	for i := range scs {
+		s, n := serial[i].Result, negative[i].Result
+		if s.DeliveredSegs != n.DeliveredSegs || s.LinkDrops != n.LinkDrops ||
+			s.FaultEvents != n.FaultEvents || s.LatencySec != n.LatencySec {
+			t.Errorf("scenario %d (%s): workers=-3 diverged from workers=1:\n%+v\n%+v",
+				i, scs[i].Name, s, n)
+		}
+	}
+}
+
+// TestSweepMultipleErrorsStayAtTheirIndex: every failing scenario carries
+// its own error at its own slot — errors are never coalesced, reordered,
+// or allowed to cancel sibling scenarios.
+func TestSweepMultipleErrorsStayAtTheirIndex(t *testing.T) {
+	good := ringScenario(4)
+	good.DurationSec = 10
+	good.WarmupSec = 2
+	badRate := good
+	badRate.PerSat = 0
+	badWarmup := good
+	badWarmup.WarmupSec = good.DurationSec
+	scs := []Scenario{badRate, good, badWarmup, good, badRate}
+	results := Sweep(scs, 3)
+	wantErr := []bool{true, false, true, false, true}
+	for i, want := range wantErr {
+		if got := results[i].Err != nil; got != want {
+			t.Errorf("scenario %d: err presence = %v, want %v (err: %v)", i, got, want, results[i].Err)
+		}
+	}
+	// Distinct failures keep distinct causes.
+	if results[0].Err != nil && results[2].Err != nil &&
+		results[0].Err.Error() == results[2].Err.Error() {
+		t.Errorf("different invalid scenarios reported the same error: %v", results[0].Err)
+	}
+}
+
 // BenchmarkSweepSpeedup times the same scenario grid serially and across
 // all cores, reporting the wall-clock speedup. On ≥4 cores the pool must
 // clear 2×.

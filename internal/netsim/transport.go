@@ -1,7 +1,5 @@
 package netsim
 
-import "sort"
-
 // segment is the flow-level unit of transfer: a fixed-size slice of one
 // satellite's stream.
 type segment struct {
@@ -16,6 +14,7 @@ type segment struct {
 // txState tracks one unacknowledged segment at its source.
 type txState struct {
 	seg      segment
+	live     bool // false once acked or abandoned
 	attempts int
 	deadline float64
 }
@@ -29,19 +28,66 @@ type source struct {
 	segmentBits float64
 	cfg         TransportConfig
 
-	credit      float64
-	seq         int64
-	outstanding map[int64]*txState
-	// expired is expire's scratch buffer, reused across steps so the
-	// deterministic sort below costs no steady-state allocation.
-	expired []int64
+	credit float64
+	seq    int64
+	// Outstanding segments live in a sliding-window deque: buf[head:]
+	// covers consecutive sequence numbers starting at base, with acked and
+	// abandoned entries marked dead until the front of the window pops.
+	// Sequence numbers are monotone, so this replaces the old
+	// map[int64]txState, whose per-segment insert/delete churn forced the
+	// runtime into repeated same-size rehashes — an O(offered segments)
+	// allocation pattern under fault-heavy load. The deque reallocates only
+	// on genuine window growth, keeping transport bookkeeping
+	// allocation-flat at steady state, and it yields timeouts in sequence
+	// order for free, which the old map needed a per-step sort to
+	// guarantee.
+	buf  []txState
+	head int
+	base int64 // sequence number of buf[head]
 }
 
 // newSource initializes the endpoint.
 func newSource(nodeID int, rateBps, segBits float64, cfg TransportConfig) *source {
-	return &source{
-		node: nodeID, rateBps: rateBps, segmentBits: segBits, cfg: cfg,
-		outstanding: make(map[int64]*txState),
+	return &source{node: nodeID, rateBps: rateBps, segmentBits: segBits, cfg: cfg}
+}
+
+// slot returns seq's index in buf, or -1 when seq is outside the window.
+func (s *source) slot(seq int64) int {
+	if s.head >= len(s.buf) || seq < s.base {
+		return -1
+	}
+	i := s.head + int(seq-s.base)
+	if i >= len(s.buf) {
+		return -1
+	}
+	return i
+}
+
+// push appends a fresh segment to the window, compacting the dead prefix
+// in place once it reaches half the backing array so the append can reuse
+// capacity instead of growing it.
+func (s *source) push(tx txState) {
+	if s.head == len(s.buf) {
+		s.buf = s.buf[:0]
+		s.head = 0
+		s.base = tx.seg.seq
+	} else if s.head > 0 && s.head*2 >= len(s.buf) {
+		n := copy(s.buf, s.buf[s.head:])
+		s.buf = s.buf[:n]
+		s.head = 0
+	}
+	s.buf = append(s.buf, tx)
+}
+
+// trim pops dead entries off the front of the window.
+func (s *source) trim() {
+	for s.head < len(s.buf) && !s.buf[s.head].live {
+		s.head++
+		s.base++
+	}
+	if s.head == len(s.buf) {
+		s.buf = s.buf[:0]
+		s.head = 0
 	}
 }
 
@@ -58,7 +104,7 @@ func (s *source) generate(now, dt float64, alive bool, emit func(segment)) int {
 		s.credit -= s.segmentBits
 		s.seq++
 		seg := segment{flow: s.node, seq: s.seq, bits: s.segmentBits, born: now}
-		s.outstanding[s.seq] = &txState{seg: seg, attempts: 1, deadline: now + s.cfg.RTOSec}
+		s.push(txState{seg: seg, live: true, attempts: 1, deadline: now + s.cfg.RTOSec})
 		emit(seg)
 		n++
 	}
@@ -68,10 +114,12 @@ func (s *source) generate(now, dt float64, alive bool, emit func(segment)) int {
 // ack removes a delivered segment; it reports false for a duplicate (an
 // earlier copy already arrived).
 func (s *source) ack(seq int64) bool {
-	if _, ok := s.outstanding[seq]; !ok {
+	i := s.slot(seq)
+	if i < 0 || !s.buf[i].live {
 		return false
 	}
-	delete(s.outstanding, seq)
+	s.buf[i].live = false
+	s.trim()
 	return true
 }
 
@@ -79,27 +127,19 @@ func (s *source) ack(seq int64) bool {
 // deadlines, abandoning those that exhaust the attempt budget. It returns
 // the retransmission and abandonment counts.
 //
-// Timed-out sequence numbers are collected and sorted before any segment
-// is emitted: ranging over the outstanding map directly would enqueue
-// retransmissions in randomized map-iteration order whenever two or more
-// segments expire in the same step (routine after an outage), silently
-// breaking the bit-identical determinism Run and Sweep promise.
+// The window stores segments in sequence order, so walking it emits
+// retransmissions deterministically — the property Run and Sweep's
+// bit-identical promise rests on, which the old map-backed version had to
+// restore with a collect-and-sort pass every step.
 func (s *source) expire(now float64, alive bool, emit func(segment)) (retransmits, abandoned int) {
-	s.expired = s.expired[:0]
-	for seq, tx := range s.outstanding {
-		if now >= tx.deadline {
-			s.expired = append(s.expired, seq)
+	for i := s.head; i < len(s.buf); i++ {
+		tx := &s.buf[i]
+		if !tx.live || now < tx.deadline {
+			continue
 		}
-	}
-	if len(s.expired) == 0 {
-		return 0, 0
-	}
-	sort.Slice(s.expired, func(i, j int) bool { return s.expired[i] < s.expired[j] })
-	for _, seq := range s.expired {
-		tx := s.outstanding[seq]
 		if tx.attempts >= s.cfg.MaxAttempts {
 			abandoned++
-			delete(s.outstanding, seq)
+			tx.live = false
 			continue
 		}
 		if !alive {
@@ -110,12 +150,13 @@ func (s *source) expire(now float64, alive bool, emit func(segment)) (retransmit
 		}
 		tx.attempts++
 		rto := s.cfg.RTOSec
-		for i := 1; i < tx.attempts; i++ {
+		for a := 1; a < tx.attempts; a++ {
 			rto *= s.cfg.Backoff
 		}
 		tx.deadline = now + rto
 		retransmits++
 		emit(tx.seg)
 	}
+	s.trim()
 	return retransmits, abandoned
 }

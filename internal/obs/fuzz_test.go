@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// floatsFromBytes decodes the fuzzer's byte stream into float64 samples,
+// eight bytes per sample — the raw-bits decoding reaches every value
+// including NaN payloads, ±Inf, subnormals, and negative zero.
+func floatsFromBytes(data []byte) []float64 {
+	var out []float64
+	for len(data) >= 8 {
+		out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(data)))
+		data = data[8:]
+	}
+	return out
+}
+
+// bits encodes values back into the fuzz corpus byte format.
+func bits(vs ...float64) []byte {
+	b := make([]byte, 0, 8*len(vs))
+	for _, v := range vs {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	return b
+}
+
+// FuzzQuantile drives Histogram.Observe/Quantile with arbitrary samples
+// and quantiles and checks the accumulator's contract: NaN samples are
+// dropped and everything else counted; quantiles never panic, never
+// manufacture a NaN from non-NaN samples, stay inside the observed
+// [min, max], clamp out-of-range q to the exact min/max, and remain
+// monotone in q.
+func FuzzQuantile(f *testing.F) {
+	f.Add([]byte{}, 0.5)
+	f.Add(bits(0.42), 0.95)                                          // single sample
+	f.Add(bits(1, 1, 1, 1), 0.5)                                     // point mass
+	f.Add(bits(math.NaN(), 2, math.NaN()), 0.9)                      // NaN dropped
+	f.Add(bits(math.Inf(1), math.Inf(-1), 3), 0.5)                   // infinite span
+	f.Add(bits(0.01, 0.1, 1, 10, 100), math.NaN())                   // NaN quantile
+	f.Add(bits(-1, 0, math.Copysign(0, -1)), -2.0)                   // q below range
+	f.Add(bits(5e-324, math.MaxFloat64), 2.0)                        // q above range
+	f.Add(bits(0.3, 0.31, 0.32, 0.33, 0.34, 0.35, 7200, 9000), 0.95) // tail
+
+	f.Fuzz(func(t *testing.T, data []byte, q float64) {
+		samples := floatsFromBytes(data)
+		h := NewHistogram(LatencyBuckets)
+		var kept []float64
+		for _, v := range samples {
+			h.Observe(v)
+			if !math.IsNaN(v) {
+				kept = append(kept, v)
+			}
+		}
+		if h.Count() != int64(len(kept)) {
+			t.Fatalf("Count = %d after %d non-NaN observations", h.Count(), len(kept))
+		}
+
+		got := h.Quantile(q)
+		if len(kept) == 0 {
+			if got != 0 {
+				t.Fatalf("Quantile(%v) of empty histogram = %v, want 0", q, got)
+			}
+			return
+		}
+		min, max := kept[0], kept[0]
+		for _, v := range kept[1:] {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		if math.IsNaN(got) {
+			t.Fatalf("Quantile(%v) = NaN from non-NaN samples (min=%v max=%v)", q, min, max)
+		}
+		if got < min || got > max {
+			t.Fatalf("Quantile(%v) = %v outside observed range [%v, %v]", q, got, min, max)
+		}
+		// Out-of-range and NaN q clamp to the exact extremes.
+		if (q <= 0 || math.IsNaN(q)) && got != min {
+			t.Fatalf("Quantile(%v) = %v, want exact min %v", q, got, min)
+		}
+		if q >= 1 && got != max {
+			t.Fatalf("Quantile(%v) = %v, want exact max %v", q, got, max)
+		}
+		// Monotone in q.
+		if p50, p95 := h.Quantile(0.5), h.Quantile(0.95); p50 > p95 {
+			t.Fatalf("Quantile not monotone: p50 %v > p95 %v", p50, p95)
+		}
+	})
+}

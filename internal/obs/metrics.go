@@ -221,10 +221,67 @@ func (h *Histogram) Quantile(q float64) float64 {
 		// Upper-leaning position: buckets are (lo, hi], so the last rank
 		// in the bucket maps to hi, matching the pre-interpolation
 		// upper-bound convention at bucket edges.
+		//
+		// Infinite samples make the bucket span non-finite (lo = -Inf min
+		// or hi = +Inf max), where interpolating would manufacture a NaN;
+		// fall back to the upper edge, which keeps the estimate inside
+		// [min, max].
+		span := hi - lo
+		if math.IsInf(span, 0) || math.IsNaN(span) {
+			return hi
+		}
 		frac := float64(rank-before+1) / float64(c)
-		return lo + frac*(hi-lo)
+		return lo + frac*span
 	}
 	return h.max
+}
+
+// Merge folds another histogram's accumulated state into h. Simulators use
+// it to publish a run-local accumulator into a registry at end of run: the
+// local histogram keeps per-run results isolated (a registry shared across
+// runs would otherwise leak one run's samples into the next run's
+// quantiles), while the registry copy still exposes the full distribution.
+//
+// Count, sum, min, and max merge exactly. Each source bucket's population
+// is attributed at its upper edge (clamped to the observed max), which
+// lands it in the identical bucket when both layouts match — the always
+// case in this repo's fixed layouts — and within one destination bucket
+// otherwise. Merging a nil or empty histogram is a no-op.
+func (h *Histogram) Merge(o *Histogram) {
+	if h == nil || o == nil || h == o {
+		return
+	}
+	o.mu.Lock()
+	count, sum, omin, omax := o.count, o.sum, o.min, o.max
+	counts := append([]int64(nil), o.counts...)
+	o.mu.Unlock()
+	if count == 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		v := omax
+		if i < len(o.bounds) && o.bounds[i] < v {
+			v = o.bounds[i]
+		}
+		j := 0
+		for j < len(h.bounds) && v > h.bounds[j] {
+			j++
+		}
+		h.counts[j] += c
+	}
+	if h.count == 0 || omin < h.min {
+		h.min = omin
+	}
+	if h.count == 0 || omax > h.max {
+		h.max = omax
+	}
+	h.count += count
+	h.sum += sum
 }
 
 // snapshot copies the histogram state under its lock.

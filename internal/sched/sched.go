@@ -395,13 +395,12 @@ func Simulate(cfg Config, proc Processor) (Stats, error) {
 	// per-frame slice keeps month-scale missions memory-flat (O(buckets),
 	// not O(frames)). Mean and max stay exact from the histogram's running
 	// sum/max; P95 is interpolated from the buckets, within one bucket
-	// width (~15%) of the old sorted-sample value. When observability is
-	// on, the registry's copy doubles as the accumulator, so -metrics runs
-	// expose the full latency distribution for free.
-	lat := reg.Histogram("sched.frame_latency_secs", obs.LatencyBuckets)
-	if lat == nil {
-		lat = obs.NewHistogram(obs.LatencyBuckets)
-	}
+	// width (~15%) of the old sorted-sample value. The accumulator is
+	// run-local — using the registry's copy directly would let a registry
+	// shared across sequential runs leak one run's samples into the next
+	// run's Stats — and merges into "sched.frame_latency_secs" once at the
+	// end, so -metrics runs still expose the full latency distribution.
+	lat := obs.NewHistogram(obs.LatencyBuckets)
 
 	var h eventHeap
 	// Stagger satellite frame phases uniformly across the period, as a
@@ -580,6 +579,7 @@ func Simulate(cfg Config, proc Processor) (Stats, error) {
 		// after the run are identical, and the hot path stays within the
 		// <3% instrumented-overhead budget.
 		reg.SetTime(cfg.DurationSec)
+		reg.Histogram("sched.frame_latency_secs", obs.LatencyBuckets).Merge(lat)
 		reg.Counter("sched.arrived").Add(stats.Arrived)
 		reg.Counter("sched.dropped").Add(stats.Dropped)
 		reg.Counter("sched.batches").Add(stats.Batches)
