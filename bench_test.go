@@ -7,6 +7,7 @@
 package spacedc_test
 
 import (
+	"context"
 	"math"
 	"reflect"
 	"runtime"
@@ -35,7 +36,7 @@ func run(b *testing.B, id string) []report.Table {
 	var tables []report.Table
 	var err error
 	for i := 0; i < b.N; i++ {
-		tables, err = experiments.Run(id)
+		tables, err = experiments.Run(context.Background(), id)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -12,14 +12,20 @@
 //	sudcsim -metrics all          # append the metrics table after the run
 //	sudcsim -trace run.jsonl all  # stream metric events to a JSONL file
 //	sudcsim -pprof :6060 all      # serve net/http/pprof while running
+//
+// For a long-running scenario-evaluation service over the same registry,
+// see cmd/sudcsimd.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"spacedc/internal/experiments"
 	"spacedc/internal/obs"
@@ -34,8 +40,8 @@ func main() {
 	workers := flag.Int("workers", 0, "experiment-level workers for 'all' (0 = one per CPU, 1 = serial; any count is bit-identical); grid experiments also split into sub-jobs on the shared pool, bounded by a global token budget so total concurrency never oversubscribes the CPUs")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: sudcsim [-csv] [-metrics] [-trace file] [-pprof addr] [-workers n] <experiment-id>|all|list\n\nexperiments:\n")
-		for _, id := range experiments.IDs() {
-			fmt.Fprintf(os.Stderr, "  %s\n", id)
+		for _, info := range experiments.List() {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", info.ID, info.Description)
 		}
 	}
 	flag.Parse()
@@ -72,25 +78,23 @@ func main() {
 	}
 
 	arg := flag.Arg(0)
-	switch arg {
-	case "list":
+	if arg == "list" {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
 		}
 		return
-	case "all":
-		tables, err := experiments.RunAllObsWorkers(reg, *workers)
-		if err != nil {
-			fatal(err)
-		}
-		emit(tables, *csvOut)
-	default:
-		tables, err := experiments.RunObs(arg, reg)
-		if err != nil {
-			fatal(err)
-		}
-		emit(tables, *csvOut)
 	}
+
+	// One dispatch for single IDs and the "all" sweep: RunWorkers treats
+	// experiments.All as a registry-wide fan-out over the shared pool.
+	// Ctrl-C cancels between experiments; in-flight drivers finish first.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	tables, err := experiments.RunWorkers(ctx, reg, arg, *workers)
+	if err != nil {
+		fatal(err)
+	}
+	emit(tables, *csvOut)
 
 	if sink != nil {
 		if err := sink.Close(); err != nil {

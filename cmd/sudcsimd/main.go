@@ -1,0 +1,101 @@
+// Command sudcsimd is the long-running scenario-evaluation service over
+// the Space Microdatacenters experiment registry and simulators: the
+// sudcsim batch CLI turned into a daemon with request admission, a
+// content-addressed result cache, and live metrics streaming.
+//
+// Usage:
+//
+//	sudcsimd -addr :8080
+//
+// Endpoints:
+//
+//	GET  /v1/experiments     experiment registry listing (ID + description)
+//	POST /v1/eval            evaluate a scenario; body is the spec JSON
+//	GET  /v1/results/{key}   fetch a cached evaluation by content hash
+//	GET  /v1/metrics         daemon metrics (text; ?format=json for JSON)
+//	GET  /v1/stream          SSE feed of live run samples (?run=<key> filters)
+//	GET  /healthz            liveness + admission/cache counters
+//	GET  /debug/pprof/       standard pprof handlers
+//
+// Examples:
+//
+//	curl localhost:8080/healthz
+//	curl -X POST localhost:8080/v1/eval -d '{"experiment":"fig9"}'
+//	curl -X POST 'localhost:8080/v1/eval?stream=1' -d '{"netsim":{"sats":16,"per_sat_mbps":1000,"link_outage":0.01}}'
+//	curl -N localhost:8080/v1/stream
+//
+// SIGINT/SIGTERM drain in-flight evaluations before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"spacedc/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	maxInFlight := flag.Int("max-inflight", 4, "maximum concurrent evaluations; more wait in the queue")
+	queueDepth := flag.Int("queue", 16, "maximum queued evaluations before 429 (negative = no queue)")
+	cacheSize := flag.Int("cache-size", 256, "content-addressed result cache capacity in entries")
+	workers := flag.Int("workers", 0, "experiment-level pool fan-out per evaluation (0 = one slot per CPU; results are bit-identical at any value)")
+	evalTimeout := flag.Duration("eval-timeout", 0, "per-evaluation wall-time cap on top of the client deadline (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget for in-flight evaluations")
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		MaxInFlight: *maxInFlight,
+		QueueDepth:  *queueDepth,
+		CacheSize:   *cacheSize,
+		Workers:     *workers,
+		EvalTimeout: *evalTimeout,
+	})
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+	}
+	// Shutdown waits for active requests; open SSE streams must be told
+	// to end or they would pin the drain until its timeout.
+	httpSrv.RegisterOnShutdown(srv.Drain)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "sudcsimd: listening on %s\n", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting, let in-flight evaluations (and open
+	// SSE streams, which end when their clients see the close) finish.
+	fmt.Fprintln(os.Stderr, "sudcsimd: shutting down, draining in-flight evaluations")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		// The drain budget ran out; cut the stragglers loose.
+		httpSrv.Close() //nolint:errcheck
+		if !errors.Is(err, context.DeadlineExceeded) {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sudcsimd:", err)
+	os.Exit(1)
+}

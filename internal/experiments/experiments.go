@@ -1,11 +1,13 @@
 // Package experiments contains one driver per table and figure of the
 // paper's evaluation. Each driver runs the relevant models end-to-end and
 // returns a report.Table with the same rows/series the paper reports, so
-// the experiment record (EXPERIMENTS.md), the sudcsim CLI, and the
-// benchmark harness all share one implementation.
+// the experiment record (EXPERIMENTS.md), the sudcsim CLI, the sudcsimd
+// evaluation daemon, and the benchmark harness all share one
+// implementation.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -27,16 +29,34 @@ var Mission64 = datagen.Mission{Frame: datagen.Default4K, Satellites: 64}
 // Runner produces one experiment's table(s).
 type Runner func() ([]report.Table, error)
 
-// registry maps experiment IDs to runners.
-var registry = map[string]Runner{}
+// All is the pseudo-ID that sweeps the entire registry in ID order. It is
+// dispatched by Run/RunWorkers like any single experiment, so callers (the
+// sudcsim CLI, the sudcsimd daemon) never special-case the full sweep.
+const All = "all"
+
+// Info is one registered experiment's metadata.
+type Info struct {
+	ID          string
+	Description string
+}
+
+// entry pairs a runner with its metadata.
+type entry struct {
+	runner Runner
+	desc   string
+}
+
+// registry maps experiment IDs to runners plus metadata.
+var registry = map[string]entry{}
 
 // register adds a runner; drivers call it from file-scope var blocks.
-func register(id string, r Runner) struct{} {
-	registry[id] = r
+func register(id, desc string, r Runner) struct{} {
+	registry[id] = entry{runner: r, desc: desc}
 	return struct{}{}
 }
 
-// IDs returns all experiment IDs in sorted order.
+// IDs returns all experiment IDs in sorted order (the All pseudo-ID is not
+// listed; it is a dispatch alias, not an experiment).
 func IDs() []string {
 	ids := make([]string, 0, len(registry))
 	for id := range registry {
@@ -46,21 +66,91 @@ func IDs() []string {
 	return ids
 }
 
-// Run executes one experiment by ID.
-func Run(id string) ([]report.Table, error) {
-	return RunObs(id, nil)
+// List returns ID+description metadata for every registered experiment in
+// ID order — the /v1/experiments listing and the sudcsim usage text.
+func List() []Info {
+	infos := make([]Info, 0, len(registry))
+	for _, id := range IDs() {
+		infos = append(infos, Info{ID: id, Description: registry[id].desc})
+	}
+	return infos
 }
 
-// RunObs executes one experiment by ID, recording a per-experiment span
-// ("experiments.<id>", wall time when reg runs on the wall clock) plus
-// completion and table-count counters. A nil registry costs one nil check.
-func RunObs(id string, reg *obs.Registry) ([]report.Table, error) {
-	r, ok := registry[id]
+// Run executes one experiment by ID (or the full sweep for All) on the
+// calling goroutine, honouring ctx cancellation between experiments.
+func Run(ctx context.Context, id string) ([]report.Table, error) {
+	return RunWorkers(ctx, nil, id, 1)
+}
+
+// RunWorkers is the single dispatch point under every frontend: it
+// executes experiment id — or the full registry sweep when id is All —
+// with optional observability and pool-level parallelism.
+//
+// For the All sweep the experiment IDs fan out as jobs on the shared
+// worker pool (internal/pool) and the tables are reassembled in ID order,
+// so the output is bit-identical to a serial sweep for any worker count.
+// workers ≤ 0 means one slot per CPU; workers=1 claims every experiment on
+// the calling goroutine. Every driver owns all of its state (the registry
+// map is read-only after init and the obs handles are concurrency-safe),
+// so experiments only share the result slot each job writes. Drivers that
+// fan out internally (ext-netsim's scenario sweep, ext-lossy's quant grid,
+// table4's imagery suites) schedule their sub-jobs into the same shared
+// pool, so the whole tree of work competes for one global token budget:
+// experiment-level and sub-experiment-level parallelism compose without
+// oversubscribing the machine.
+//
+// Cancellation is checked at experiment boundaries: a Done ctx stops new
+// experiments from starting (in-flight drivers run to completion, keeping
+// their deterministic state intact) and surfaces as the lowest-ID
+// ctx error. Like any failure in the pooled sweep, the error reported is
+// the one that comes first in ID order — independent of scheduling.
+func RunWorkers(ctx context.Context, reg *obs.Registry, id string, workers int) ([]report.Table, error) {
+	if id != All {
+		tables, err := runOne(ctx, reg, id)
+		if err != nil {
+			return nil, err
+		}
+		return tables, nil
+	}
+
+	ids := IDs()
+	span := reg.StartSpan("experiments.runall")
+	defer span.End()
+	type outcome struct {
+		tables []report.Table
+		err    error
+	}
+	results := make([]outcome, len(ids))
+	pool.MapObs(len(ids), workers, reg, "experiments.pool", func(i int) error {
+		tables, err := runOne(ctx, reg, ids[i])
+		results[i] = outcome{tables: tables, err: err}
+		return nil
+	})
+	var out []report.Table
+	for i, r := range results {
+		if r.err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", ids[i], r.err)
+		}
+		out = append(out, r.tables...)
+	}
+	return out, nil
+}
+
+// runOne executes one registered experiment, recording a per-experiment
+// span ("experiments.<id>", wall time when reg runs on the wall clock)
+// plus completion and table-count counters. A nil registry costs one nil
+// check. A Done ctx refuses to start the run.
+func runOne(ctx context.Context, reg *obs.Registry, id string) ([]report.Table, error) {
+	e, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
 	}
+	if err := ctx.Err(); err != nil {
+		reg.Counter("experiments.canceled").Inc()
+		return nil, err
+	}
 	span := reg.StartSpan("experiments." + id)
-	tables, err := r()
+	tables, err := e.runner()
 	span.End()
 	if err != nil {
 		reg.Counter("experiments.failed").Inc()
@@ -73,75 +163,21 @@ func RunObs(id string, reg *obs.Registry) ([]report.Table, error) {
 
 // RunAll executes every experiment serially in ID order.
 func RunAll() ([]report.Table, error) {
-	return RunAllObs(nil)
+	return RunWorkers(context.Background(), nil, All, 1)
 }
 
-// RunAllObs executes every experiment serially in ID order, timing the
-// whole sweep ("experiments.runall") and each experiment individually via
-// RunObs. It stops at the first failure.
+// RunAllObs executes every experiment serially in ID order with
+// observability. It reports the lowest-ID failure.
 func RunAllObs(reg *obs.Registry) ([]report.Table, error) {
-	span := reg.StartSpan("experiments.runall")
-	defer span.End()
-	var out []report.Table
-	for _, id := range IDs() {
-		tables, err := RunObs(id, reg)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", id, err)
-		}
-		out = append(out, tables...)
-	}
-	return out, nil
+	return RunWorkers(context.Background(), reg, All, 1)
 }
 
 // RunAllWorkers executes every experiment across a pool of workers.
 func RunAllWorkers(workers int) ([]report.Table, error) {
-	return RunAllObsWorkers(nil, workers)
+	return RunWorkers(context.Background(), nil, All, workers)
 }
 
-// RunAllObsWorkers is the pooled RunAllObs: the experiment IDs fan out as
-// jobs on the shared worker pool (internal/pool) and the tables are
-// reassembled in ID order, so the output is bit-identical to the serial
-// sweep for any worker count. workers ≤ 0 means one slot per CPU;
-// workers=1 claims every experiment on the calling goroutine.
-//
-// Every driver owns all of its state (the registry map is read-only after
-// init and the obs handles are concurrency-safe), so experiments only
-// share the result slot each job writes. Each pool slot additionally
-// records its wall-clock run timings into
-// "experiments.pool.workerNN.run_secs" and its completed-run count into
-// "experiments.pool.workerNN.runs", exposing pool imbalance.
-//
-// Drivers that fan out internally (ext-netsim's scenario sweep,
-// ext-lossy's quant grid, table4's imagery suites) schedule their sub-jobs
-// into the same shared pool, so the whole tree of work competes for one
-// global token budget: experiment-level and sub-experiment-level
-// parallelism compose without oversubscribing the machine, which is what
-// lifts the sweep past the Amdahl bound a long opaque experiment imposes.
-//
-// Unlike the serial sweep, the pool runs every experiment even when one
-// fails (the failure surfaces only after reassembly), and the error
-// returned is the failing experiment that comes first in ID order — again
-// independent of scheduling.
+// RunAllObsWorkers is the pooled RunAllObs; see RunWorkers.
 func RunAllObsWorkers(reg *obs.Registry, workers int) ([]report.Table, error) {
-	ids := IDs()
-	span := reg.StartSpan("experiments.runall")
-	defer span.End()
-	type outcome struct {
-		tables []report.Table
-		err    error
-	}
-	results := make([]outcome, len(ids))
-	pool.MapObs(len(ids), workers, reg, "experiments.pool", func(i int) error {
-		tables, err := RunObs(ids[i], reg)
-		results[i] = outcome{tables: tables, err: err}
-		return nil
-	})
-	var out []report.Table
-	for i, r := range results {
-		if r.err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", ids[i], r.err)
-		}
-		out = append(out, r.tables...)
-	}
-	return out, nil
+	return RunWorkers(context.Background(), reg, All, workers)
 }

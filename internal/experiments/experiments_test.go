@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -31,8 +32,35 @@ func TestRegistryComplete(t *testing.T) {
 }
 
 func TestRunUnknown(t *testing.T) {
-	if _, err := Run("fig99"); err == nil {
+	if _, err := Run(context.Background(), "fig99"); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, "fig2"); err != context.Canceled {
+		t.Errorf("canceled run err = %v, want context.Canceled", err)
+	}
+	if _, err := Run(ctx, All); err == nil || !strings.Contains(err.Error(), context.Canceled.Error()) {
+		t.Errorf("canceled sweep err = %v, want wrapped context.Canceled", err)
+	}
+}
+
+func TestListMatchesIDs(t *testing.T) {
+	infos := List()
+	ids := IDs()
+	if len(infos) != len(ids) {
+		t.Fatalf("List has %d entries, IDs has %d", len(infos), len(ids))
+	}
+	for i, info := range infos {
+		if info.ID != ids[i] {
+			t.Errorf("List[%d].ID = %s, want %s", i, info.ID, ids[i])
+		}
+		if info.Description == "" {
+			t.Errorf("%s has no description", info.ID)
+		}
 	}
 }
 

@@ -30,7 +30,7 @@ import (
 // disaggregation economics, scheduler latency/energy, and revisit-driven
 // constellation sizing.
 
-var _ = register("ext-saa", ExtSAA)
+var _ = register("ext-saa", "South Atlantic Anomaly exposure and the compute-pause strategy", ExtSAA)
 
 // ExtSAA quantifies the §9 "pause in the SAA" strategy: the anomaly time
 // fraction per orbit and the SµDC sizing impact of pausing versus
@@ -66,7 +66,7 @@ func ExtSAA() ([]report.Table, error) {
 	return []report.Table{t}, nil
 }
 
-var _ = register("ext-lifetime", ExtLifetime)
+var _ = register("ext-lifetime", "SuDC drag, boosting, and end-of-life (2000 kg, 40 m2)", ExtLifetime)
 
 // ExtLifetime covers §9's boosting/retirement discussion: decay rates,
 // unboosted lifetimes, annual drag make-up, and end-of-life burns across
@@ -92,7 +92,7 @@ func ExtLifetime() ([]report.Table, error) {
 	return []report.Table{t}, nil
 }
 
-var _ = register("ext-thermal", ExtThermal)
+var _ = register("ext-thermal", "heat rejection for SuDC compute loads", ExtThermal)
 
 // ExtThermal sizes the §9 heat-rejection chain for both SµDC classes.
 func ExtThermal() ([]report.Table, error) {
@@ -112,7 +112,7 @@ func ExtThermal() ([]report.Table, error) {
 	return []report.Table{t}, nil
 }
 
-var _ = register("ext-power", ExtPower)
+var _ = register("ext-power", "power system sizing: LEO vs GEO placement (4 kW SuDC)", ExtPower)
 
 // ExtPower sizes the electrical chain at LEO versus GEO (§9's eclipse
 // argument made quantitative).
@@ -146,7 +146,7 @@ func ExtPower() ([]report.Table, error) {
 	return []report.Table{t}, nil
 }
 
-var _ = register("ext-disagg", ExtDisaggregation)
+var _ = register("ext-disagg", "disaggregated vs monolithic SuDC lifecycle cost", ExtDisaggregation)
 
 // ExtDisaggregation prices the §9 disaggregated-SµDC option against the
 // monolithic design over mission lifetimes.
@@ -174,7 +174,7 @@ func ExtDisaggregation() ([]report.Table, error) {
 	return []report.Table{t}, nil
 }
 
-var _ = register("ext-sched", ExtScheduler)
+var _ = register("ext-sched", "SuDC pipeline simulation: batching policy vs latency and energy", ExtScheduler)
 
 // ExtScheduler runs the discrete-event SµDC pipeline at several batching
 // policies, quantifying the §9 latency/efficiency trade on the flood
@@ -215,7 +215,7 @@ func ExtScheduler() ([]report.Table, error) {
 	return []report.Table{t}, nil
 }
 
-var _ = register("ext-fleet", ExtFleet)
+var _ = register("ext-fleet", "SuDC fleet availability over 5 years under COTS failures", ExtFleet)
 
 // ExtFleet runs the fleet-reliability Monte Carlo: COTS device failures
 // (random + dose wear-out) against on-board spares, at LEO and in the
@@ -258,7 +258,7 @@ func ExtFleet() ([]report.Table, error) {
 	return []report.Table{t}, nil
 }
 
-var _ = register("ext-revisit", ExtRevisit)
+var _ = register("ext-revisit", "satellites needed for equatorial revisit targets", ExtRevisit)
 
 // ExtRevisit sizes constellations for the Table 1 temporal-resolution
 // targets, closing the loop between revisit goals and fleet size.
@@ -289,7 +289,7 @@ func ExtRevisit() ([]report.Table, error) {
 	return []report.Table{t}, nil
 }
 
-var _ = register("ext-latency", ExtLatency)
+var _ = register("ext-latency", "shutter-to-alert latency: SuDC path vs ground path", ExtLatency)
 
 // ExtLatency races the in-orbit detection path against the
 // downlink-and-process path for each latency-relevant frame size — the §5
@@ -327,7 +327,7 @@ func ExtLatency() ([]report.Table, error) {
 // islOptical10G keeps the isl import localized to this driver.
 func islOptical10G() isl.LinkTech { return isl.Optical10G }
 
-var _ = register("ext-lossy", ExtLossy)
+var _ = register("ext-lossy", "quasi-lossless compression: rate vs quality", ExtLossy)
 
 // ExtLossy sweeps the quasi-lossless coder's rate/quality curve on a
 // synthetic urban scene — §4's claim that even high-quality lossy
@@ -372,7 +372,7 @@ func ExtLossy() ([]report.Table, error) {
 	return []report.Table{t}, nil
 }
 
-var _ = register("ext-detect", ExtDetect)
+var _ = register("ext-detect", "on-board CFAR ship detection on synthetic maritime SAR", ExtDetect)
 
 // ExtDetect runs the CFAR ship detector over synthetic maritime SAR and
 // reports accuracy and the insight-vs-raw-data payload ratio — the §5

@@ -9,7 +9,7 @@ import (
 	"spacedc/internal/units"
 )
 
-var _ = register("ext-netsim", ExtNetsim)
+var _ = register("ext-netsim", "dynamic network simulation: optical ring under link outages", ExtNetsim)
 
 // NetsimBaseScenario is the reference network for the dynamic-simulation
 // study: a 16-satellite optical ring feeding one SµDC at 80% of the

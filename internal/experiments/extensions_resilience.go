@@ -15,7 +15,7 @@ import (
 	"spacedc/internal/units"
 )
 
-var _ = register("ext-resilience", ExtResilience)
+var _ = register("ext-resilience", "radiation mitigation policies across orbit regimes", ExtResilience)
 
 // ResilienceOrbit names one orbit regime of the resilience sweep.
 type ResilienceOrbit struct {

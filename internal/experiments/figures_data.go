@@ -11,7 +11,7 @@ import (
 	"spacedc/internal/units"
 )
 
-var _ = register("fig2", Fig2)
+var _ = register("fig2", "EO satellite spatial resolution by launch year", Fig2)
 
 // Fig2 reproduces the paper's Fig 2: EO satellite spatial resolution over
 // the decades, split between the NRO Key Hole line and commercial or
@@ -33,7 +33,7 @@ func Fig2() ([]report.Table, error) {
 	return []report.Table{t}, nil
 }
 
-var _ = register("fig3", Fig3)
+var _ = register("fig3", "satellite downlink capacity over time", Fig3)
 
 // Fig3 reproduces Fig 3: downlink capacity growth over time, limited by RF
 // bandwidth constraints.
@@ -62,7 +62,7 @@ var temporalSweep = []struct {
 	{"continuous (1.5 s)", 1.5},
 }
 
-var _ = register("fig4", Fig4)
+var _ = register("fig4", "global-coverage data generation rate and downlink channels needed", Fig4)
 
 // Fig4 reproduces Fig 4a (global data generation rate) and Fig 4b (number
 // of concurrent Dove-like 220 Mbit/s channels needed) over the spatial ×
@@ -99,7 +99,7 @@ func Fig4() ([]report.Table, error) {
 	return []report.Table{rates, channels}, nil
 }
 
-var _ = register("fig5", Fig5)
+var _ = register("fig5", "downlink deficit and time downlinking per revolution", Fig5)
 
 // Fig5 reproduces Fig 5: per-satellite downlink deficit (a) and time spent
 // downlinking per revolution (b) versus the number of 220 Mbit/s channel
@@ -144,7 +144,7 @@ func Fig5() ([]report.Table, error) {
 	return []report.Table{deficit, times}, nil
 }
 
-var _ = register("fig6", Fig6)
+var _ = register("fig6", "required effective compression ratio vs baseline downlink", Fig6)
 
 // Fig6 reproduces Fig 6: the effective compression ratio required to fit
 // each resolution target into a downlink sized for the 3 m / 1 day
@@ -170,7 +170,7 @@ func Fig6() ([]report.Table, error) {
 	return []report.Table{t}, nil
 }
 
-var _ = register("fig7", Fig7)
+var _ = register("fig7", "channel capacity vs antenna input power and diameter", Fig7)
 
 // Fig7 reproduces Fig 7: RF downlink capacity as antenna input power and
 // dish diameter scale, against the 1 m global-coverage requirement.

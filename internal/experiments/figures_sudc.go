@@ -15,7 +15,7 @@ import (
 	"spacedc/internal/report"
 )
 
-var _ = register("fig8", Fig8)
+var _ = register("fig8", "on-satellite compute power needed vs early discard", Fig8)
 
 // Fig8 reproduces Fig 8: the compute power one EO satellite must carry to
 // run each application on a Jetson AGX Xavier, across resolutions and
@@ -77,7 +77,7 @@ func sweepSuDCTable(id, title, note string, s core.SuDC) (report.Table, error) {
 	return t, nil
 }
 
-var _ = register("fig9", Fig9)
+var _ = register("fig9", "per-application compute power at energy-optimal batch", Fig9)
 
 // Fig9 reproduces Fig 9: the number of RTX 3090-based 4 kW SµDCs needed
 // per application across resolutions and early-discard rates.
@@ -91,7 +91,7 @@ func Fig9() ([]report.Table, error) {
 	return []report.Table{t}, nil
 }
 
-var _ = register("fig14", Fig14)
+var _ = register("fig14", "per-application compute power on GPU vs TPU-class devices", Fig14)
 
 // Fig14 reproduces Fig 14: the same sweep with Qualcomm Cloud AI 100
 // compute (18.25× the RTX 3090's energy efficiency).
@@ -108,7 +108,7 @@ func Fig14() ([]report.Table, error) {
 	return []report.Table{t}, nil
 }
 
-var _ = register("fig16", Fig16)
+var _ = register("fig16", "per-application energy per frame across devices", Fig16)
 
 // Fig16 reproduces Fig 16: the impact of radiation-hardening strategy on
 // SµDC count (software 20% overhead vs 2× and 3× redundancy).
@@ -128,7 +128,7 @@ func Fig16() ([]report.Table, error) {
 	return tables, nil
 }
 
-var _ = register("fig11", Fig11)
+var _ = register("fig11", "clusters needed vs ISL capacity (ring topology)", Fig11)
 
 // Fig11 reproduces Fig 11: clusters needed versus ISL capacity for 4 kW
 // and 256 kW SµDCs in a ring topology, showing where ISL bottlenecks set
@@ -173,7 +173,7 @@ func Fig11() ([]report.Table, error) {
 	return tables, nil
 }
 
-var _ = register("fig13", Fig13)
+var _ = register("fig13", "ISL capacity and transmit power vs k-list x SuDC splitting", Fig13)
 
 // Fig13 reproduces Fig 13: total ISL communication capacity and transmit
 // power for k-list × splitting design points, normalized to a 2-list ring
@@ -223,7 +223,7 @@ func Fig13() ([]report.Table, error) {
 	return []report.Table{t, t2}, nil
 }
 
-var _ = register("fig15", Fig15)
+var _ = register("fig15", "GEO star coverage of the LEO constellation (24 h propagation)", Fig15)
 
 // Fig15 verifies the Fig 15 claim by simulation: three GEO SµDCs spaced
 // 120° apart give every LEO EO satellite continuous line of sight to at

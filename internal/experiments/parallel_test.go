@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -94,7 +95,7 @@ func TestNestedGridExperimentsDeterministic(t *testing.T) {
 	gridIDs := []string{"ext-lossy", "ext-netsim", "table4"}
 	standalone := make(map[string]string, len(gridIDs))
 	for _, id := range gridIDs {
-		tables, err := Run(id)
+		tables, err := Run(context.Background(), id)
 		if err != nil {
 			t.Fatalf("%s standalone: %v", id, err)
 		}
@@ -123,7 +124,7 @@ func TestRunAllWorkersError(t *testing.T) {
 		t.Skip("runs every experiment; skipped in -short")
 	}
 	const failID = "aaa-test-failure" // sorts before every real experiment
-	register(failID, func() ([]report.Table, error) {
+	register(failID, "transient failing test experiment", func() ([]report.Table, error) {
 		return nil, errTestFailure
 	})
 	defer func() { delete(registry, failID) }()

@@ -19,7 +19,7 @@ import (
 	"spacedc/internal/units"
 )
 
-var _ = register("table1", Table1)
+var _ = register("table1", "current and planned LEO EO constellations", Table1)
 
 // Table1 reproduces the paper's Table 1: LEO EO constellations and their
 // resolution goals.
@@ -47,7 +47,7 @@ func Table1() ([]report.Table, error) {
 	return []report.Table{t}, nil
 }
 
-var _ = register("table2", Table2)
+var _ = register("table2", "Ground Station as a Service providers", Table2)
 
 // Table2 reproduces the paper's Table 2: GSaaS ground stations by region.
 func Table2() ([]report.Table, error) {
@@ -63,7 +63,7 @@ func Table2() ([]report.Table, error) {
 	return []report.Table{t}, nil
 }
 
-var _ = register("table3", Table3)
+var _ = register("table3", "achievable early-discard rates and ECRs", Table3)
 
 // Table3 reproduces the paper's Table 3: achievable early-discard rates and
 // their effective compression ratios.
@@ -85,7 +85,7 @@ func Table3() ([]report.Table, error) {
 	return []report.Table{t}, nil
 }
 
-var _ = register("table4", Table4)
+var _ = register("table4", "lossless compression ratios on synthetic EO imagery", Table4)
 
 // Table4 reproduces the paper's Table 4: lossless compression ratios on RGB
 // and SAR imagery, measured on synthetic scenes with the statistics of the
@@ -141,7 +141,7 @@ func Table4() ([]report.Table, error) {
 	return []report.Table{t}, nil
 }
 
-var _ = register("table5", Table5)
+var _ = register("table5", "applications which consume satellite imagery", Table5)
 
 // Table5 reproduces the paper's Table 5: the ten EO applications.
 func Table5() ([]report.Table, error) {
@@ -157,7 +157,7 @@ func Table5() ([]report.Table, error) {
 	return []report.Table{t}, nil
 }
 
-var _ = register("table6", Table6)
+var _ = register("table6", "application results at energy-optimal batch size", Table6)
 
 // Table6 reproduces the paper's Table 6 from the calibrated device models:
 // each model's optimal-batch operating point on the RTX 3090 and Jetson
@@ -190,7 +190,7 @@ func Table6() ([]report.Table, error) {
 	return []report.Table{t}, nil
 }
 
-var _ = register("table7", Table7)
+var _ = register("table7", "application throughput and power on candidate devices", Table7)
 
 // Table7 reproduces the paper's Table 7: satellite classes and the
 // applications each can support at 10 cm with 0% and 95% early discard,
@@ -247,7 +247,7 @@ func join(ids []string) string {
 	return out
 }
 
-var _ = register("table8", Table8)
+var _ = register("table8", "ISL capacity against cluster aggregate demand", Table8)
 
 // Table8 reproduces the paper's Table 8: EO satellites supportable by a
 // single ring-topology SµDC across data rates and ISL capacities.
@@ -271,7 +271,7 @@ func Table8() ([]report.Table, error) {
 	return []report.Table{t}, nil
 }
 
-var _ = register("table9", Table9)
+var _ = register("table9", "SuDC compute density vs terrestrial datacenters", Table9)
 
 // Table9 reproduces the paper's Table 9: the strategy comparison.
 func Table9() ([]report.Table, error) {

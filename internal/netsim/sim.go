@@ -216,6 +216,7 @@ func Run(scenario Scenario) (Result, error) {
 			hQBits.Observe(qb)
 			if stepCap > 0 {
 				hUtil.Observe(stepServed / stepCap)
+				reg.Emit("netsim.util", "sample", stepServed/stepCap)
 			}
 			reg.Emit("netsim.queue_bits", "sample", qb)
 		}

@@ -24,9 +24,10 @@ import (
 // with New. Metric creation is mutex-guarded; the returned handles are
 // safe for concurrent use.
 type Registry struct {
-	clock Clock
-	sim   *SimClock // non-nil when the registry runs on sim time
-	sink  Sink
+	clock  Clock
+	sim    *SimClock // non-nil when the registry runs on sim time
+	sink   Sink
+	stream subscriberSet // live Subscribe channels; copy-on-write
 
 	mu         sync.Mutex
 	counters   map[string]*Counter
@@ -139,13 +140,24 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
-// Emit streams one event to the sink, timestamped on the registry clock.
-// It costs one nil-check when the registry or sink is absent.
+// Emit streams one event to the sink and every live Subscribe channel,
+// timestamped on the registry clock. It costs one nil-check plus one
+// atomic load when the registry has neither sink nor subscribers.
 func (r *Registry) Emit(name, kind string, value float64) {
-	if r == nil || r.sink == nil {
+	if r == nil {
 		return
 	}
-	r.sink.Emit(Event{TimeSec: r.clock.Now(), Name: name, Kind: kind, Value: value})
+	subs := r.stream.subs.Load()
+	if r.sink == nil && subs == nil {
+		return
+	}
+	e := Event{TimeSec: r.clock.Now(), Name: name, Kind: kind, Value: value}
+	if r.sink != nil {
+		r.sink.Emit(e)
+	}
+	if subs != nil {
+		r.stream.deliver(e)
+	}
 }
 
 // StartSpan opens a span-style timer on the registry clock. End records

@@ -29,10 +29,11 @@ type Sink interface {
 // when done. The first write error is latched and reported by Err —
 // emission never fails loudly on a hot path.
 type JSONLSink struct {
-	mu  sync.Mutex
-	w   *bufio.Writer
-	c   io.Closer
-	err error
+	mu     sync.Mutex
+	w      *bufio.Writer
+	c      io.Closer
+	err    error
+	closed bool
 }
 
 // NewJSONLSink wraps w. If w is also an io.Closer, Close will close it.
@@ -42,11 +43,12 @@ func NewJSONLSink(w io.Writer) *JSONLSink {
 	return s
 }
 
-// Emit implements Sink.
+// Emit implements Sink. Emitting after Close is a silent no-op, so a
+// daemon handler racing a shutdown flush cannot write into a closed file.
 func (s *JSONLSink) Emit(e Event) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.err != nil {
+	if s.err != nil || s.closed {
 		return
 	}
 	// Hand-rolled encoding: names and kinds are code-controlled
@@ -72,26 +74,35 @@ func formatJSONFloat(f float64) string {
 func (s *JSONLSink) Flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return s.err
+	}
 	if err := s.w.Flush(); err != nil && s.err == nil {
 		s.err = err
 	}
 	return s.err
 }
 
-// Close flushes and closes the underlying writer when it is closable.
+// Close flushes and closes the underlying writer when it is closable. The
+// whole sequence runs under the sink mutex, so an Emit racing Close either
+// lands in the flushed output or is dropped cleanly — never written into a
+// closed file. Close is idempotent; later calls return the latched error.
 func (s *JSONLSink) Close() error {
-	if err := s.Flush(); err != nil {
-		if s.c != nil {
-			s.c.Close()
-		}
-		return err
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return s.err
+	}
+	s.closed = true
+	if err := s.w.Flush(); err != nil && s.err == nil {
+		s.err = err
 	}
 	if s.c != nil {
-		if err := s.c.Close(); err != nil {
-			return err
+		if err := s.c.Close(); err != nil && s.err == nil {
+			s.err = err
 		}
 	}
-	return nil
+	return s.err
 }
 
 // Err returns the first write error, if any.

@@ -41,6 +41,7 @@ type Governor struct {
 	ctrDerate *obs.Counter
 	ctrShed   *obs.Counter
 	gStored   *obs.Gauge
+	reg       *obs.Registry // event stream for transition edges
 	derated   bool
 	shedding  bool
 }
@@ -50,11 +51,15 @@ type Governor struct {
 // into the derated regime (capacity factor dropping below 1),
 // "resilience.governor.shed_transitions" entries into load shedding, and
 // "resilience.governor.stored_j" tracks the thermal-mass fill. A nil
-// registry detaches instrumentation.
+// registry detaches instrumentation. Regime edges additionally stream as
+// "resilience.governor.derate" / "resilience.governor.shed" transition
+// events (value = the capacity/keep factor entering the new regime, 1 on
+// recovery), which is what the sudcsimd SSE endpoint renders live.
 func (g *Governor) Instrument(reg *obs.Registry) {
 	g.ctrDerate = reg.Counter("resilience.governor.derate_transitions")
 	g.ctrShed = reg.Counter("resilience.governor.shed_transitions")
 	g.gStored = reg.Gauge("resilience.governor.stored_j")
+	g.reg = reg
 }
 
 // NewGovernor builds a governor for a device dissipating up to peak,
@@ -155,6 +160,7 @@ func (g *Governor) Factor(t float64) float64 {
 		if d {
 			g.ctrDerate.Inc()
 		}
+		g.reg.Emit("resilience.governor.derate", "transition", f)
 	}
 	return f
 }
@@ -177,6 +183,7 @@ func (g *Governor) KeepFactor(t float64) float64 {
 		if s {
 			g.ctrShed.Inc()
 		}
+		g.reg.Emit("resilience.governor.shed", "transition", keep)
 	}
 	return keep
 }

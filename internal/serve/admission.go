@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync/atomic"
+)
+
+// ErrOverloaded is returned by Acquire when both the in-flight slots and
+// the wait queue are full; the eval handler maps it to 429 + Retry-After.
+var ErrOverloaded = errors.New("serve: admission queue full")
+
+// admission bounds concurrent evaluations. maxInFlight requests evaluate
+// at once; up to queueDepth more wait for a slot (respecting their request
+// context's deadline); anything beyond that is rejected immediately so an
+// overload sheds load at the front door instead of stacking goroutines.
+//
+// The in-flight bound is also what keeps daemon concurrency composed with
+// internal/pool: each admitted evaluation runs its experiment inline and
+// fans sub-jobs into the shared pool's global token budget, so total CPU
+// pressure is (in-flight evals) + (pool budget) regardless of how many
+// requests arrive.
+type admission struct {
+	slots chan struct{} // capacity = max in-flight
+	queue chan struct{} // capacity = max waiters
+
+	// avgEvalSec is an EWMA of recent evaluation wall times (float64
+	// bits), the basis of the Retry-After hint.
+	avgEvalSec atomic.Uint64
+}
+
+// newAdmission builds an admission gate. maxInFlight < 1 is clamped to 1;
+// queueDepth < 0 is clamped to 0 (reject as soon as slots are full).
+func newAdmission(maxInFlight, queueDepth int) *admission {
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &admission{
+		slots: make(chan struct{}, maxInFlight),
+		queue: make(chan struct{}, queueDepth),
+	}
+}
+
+// Acquire claims an evaluation slot, waiting in the bounded queue when all
+// slots are busy. It returns a release function on success; ErrOverloaded
+// when the queue is full; or ctx.Err() when the request is canceled or
+// times out while waiting.
+func (a *admission) Acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case a.slots <- struct{}{}:
+		return a.release, nil
+	default:
+	}
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		return nil, ErrOverloaded
+	}
+	defer func() { <-a.queue }()
+	select {
+	case a.slots <- struct{}{}:
+		return a.release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// release frees one slot.
+func (a *admission) release() {
+	<-a.slots
+}
+
+// InFlight reports the number of admitted evaluations.
+func (a *admission) InFlight() int { return len(a.slots) }
+
+// Queued reports the number of requests waiting for a slot.
+func (a *admission) Queued() int { return len(a.queue) }
+
+// observeEval folds one evaluation duration into the EWMA (α = 0.3).
+func (a *admission) observeEval(secs float64) {
+	if secs < 0 || math.IsNaN(secs) || math.IsInf(secs, 0) {
+		return
+	}
+	for {
+		old := a.avgEvalSec.Load()
+		avg := math.Float64frombits(old)
+		var next float64
+		if avg == 0 {
+			next = secs
+		} else {
+			next = 0.7*avg + 0.3*secs
+		}
+		if a.avgEvalSec.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// RetryAfterSec estimates how long a rejected client should back off: the
+// queue's expected drain time at the average evaluation rate, floored at
+// one second.
+func (a *admission) RetryAfterSec() int {
+	avg := math.Float64frombits(a.avgEvalSec.Load())
+	if avg <= 0 {
+		return 1
+	}
+	waiting := float64(a.Queued() + 1)
+	slots := float64(cap(a.slots))
+	est := int(math.Ceil(avg * waiting / slots))
+	if est < 1 {
+		est = 1
+	}
+	if est > 600 {
+		est = 600
+	}
+	return est
+}

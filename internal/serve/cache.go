@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is the content-addressed scenario→result cache: canonical
+// spec key → the exact serialized response body served for it. Storing
+// the rendered bytes (not the structured result) is what makes a cache
+// hit byte-identical to the original response, which the CI smoke step
+// diffs. The cache is LRU-bounded by entry count and singleflight-guarded:
+// concurrent requests for the same key run the evaluation once and share
+// its bytes.
+type resultCache struct {
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+	max     int
+
+	flights map[string]*flight
+}
+
+// cacheEntry is one stored result.
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// flight is one in-progress evaluation other callers of the same key wait
+// on.
+type flight struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// newResultCache builds a cache holding up to max entries (max ≤ 0
+// disables storage but keeps singleflight semantics).
+func newResultCache(max int) *resultCache {
+	return &resultCache{
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+		max:     max,
+		flights: make(map[string]*flight),
+	}
+}
+
+// get returns the cached body for key, marking it most recently used.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// put stores body under key, evicting the least recently used entry past
+// capacity.
+func (c *resultCache) put(key string, body []byte) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).body = body
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, body: body})
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the number of stored entries.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// do returns the body for key, computing it with eval on a miss. The
+// first caller of a key runs eval; concurrent callers for the same key
+// block until it finishes and share the outcome (errors are shared too,
+// but not stored — a later request retries). hit reports whether the
+// bytes came from the cache or another caller's flight rather than this
+// caller's own evaluation.
+func (c *resultCache) do(key string, eval func() ([]byte, error)) (body []byte, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		body = el.Value.(*cacheEntry).body
+		c.mu.Unlock()
+		return body, true, nil
+	}
+	if f, ok := c.flights[key]; ok {
+		c.mu.Unlock()
+		<-f.done
+		return f.body, true, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.mu.Unlock()
+
+	f.body, f.err = eval()
+	c.mu.Lock()
+	delete(c.flights, key)
+	c.mu.Unlock()
+	if f.err == nil {
+		c.put(key, f.body)
+	}
+	close(f.done)
+	return f.body, false, f.err
+}

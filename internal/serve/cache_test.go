@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestKeyStableAcrossFieldOrder asserts the content address survives every
+// JSON permutation of the same scenario: field order inside objects,
+// object order inside the spec, and absent-vs-zero optional fields. This
+// is the cache's core contract — a client must not be able to miss the
+// cache by serializing the same spec differently.
+func TestKeyStableAcrossFieldOrder(t *testing.T) {
+	permutations := []string{
+		`{"netsim":{"sats":16,"per_sat_mbps":1000,"link_outage":0.01,"seed":1}}`,
+		`{"netsim":{"per_sat_mbps":1000,"link_outage":0.01,"sats":16,"seed":1}}`,
+		`{"netsim":{"seed":1,"link_outage":0.01,"per_sat_mbps":1000,"sats":16}}`,
+		// Zero-valued optional fields are identical to absent ones.
+		`{"netsim":{"sats":16,"per_sat_mbps":1000,"link_outage":0.01,"seed":1,"warmup_sec":0,"name":""}}`,
+	}
+	keys := make([]string, len(permutations))
+	for i, body := range permutations {
+		spec, err := decodeSpec([]byte(body))
+		if err != nil {
+			t.Fatalf("permutation %d: %v", i, err)
+		}
+		keys[i], err = spec.Key()
+		if err != nil {
+			t.Fatalf("permutation %d: %v", i, err)
+		}
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] != keys[0] {
+			t.Errorf("permutation %d hashes to %s, permutation 0 to %s", i, keys[i], keys[0])
+		}
+	}
+
+	// A changed parameter must change the address.
+	other, err := decodeSpec([]byte(`{"netsim":{"sats":16,"per_sat_mbps":1000,"link_outage":0.02,"seed":1}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherKey, err := other.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if otherKey == keys[0] {
+		t.Error("different scenarios share a content address")
+	}
+}
+
+// TestKeyDistinguishesKinds asserts an experiment spec and a scenario spec
+// can never collide structurally.
+func TestKeyDistinguishesKinds(t *testing.T) {
+	a, err := decodeSpec([]byte(`{"experiment":"fig2"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := decodeSpec([]byte(`{"experiment":"fig3"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ka, _ := a.Key()
+	kb, _ := b.Key()
+	if ka == kb {
+		t.Error("distinct experiments share a key")
+	}
+}
+
+// TestDecodeSpecRejects asserts malformed bodies fail loudly.
+func TestDecodeSpecRejects(t *testing.T) {
+	for _, body := range []string{
+		``,
+		`not json`,
+		`{}`, // no scenario kind
+		`{"experiment":"fig2","netsim":{"sats":1,"per_sat_mbps":1}}`, // two kinds
+		`{"experiment":"no-such-id"}`,
+		`{"netsim":{"sats":0,"per_sat_mbps":100}}`,
+		`{"netsim":{"sats":4,"per_sat_mbps":0}}`,
+		`{"sched":{"satellites":0}}`,
+		`{"sched":{"satellites":2,"app":"NOPE"}}`,
+		`{"sched":{"satellites":2,"device":"tpu9000"}}`,
+		`{"unknown_field":1}`,
+		`{"experiment":"fig2"} trailing`,
+	} {
+		if _, err := decodeSpec([]byte(body)); err == nil {
+			t.Errorf("body %q accepted", body)
+		}
+	}
+}
+
+// TestCacheLRUEviction asserts the cache holds at most max entries and
+// evicts least recently used first.
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	c.put("a", []byte("A"))
+	c.put("b", []byte("B"))
+	if _, ok := c.get("a"); !ok { // touch a: b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.put("c", []byte("C"))
+	if _, ok := c.get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if v, ok := c.get("a"); !ok || string(v) != "A" {
+		t.Error("a lost")
+	}
+	if v, ok := c.get("c"); !ok || string(v) != "C" {
+		t.Error("c lost")
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+}
+
+// TestSingleflightSharesOneEval asserts concurrent identical requests run
+// the evaluation exactly once and share its bytes.
+func TestSingleflightSharesOneEval(t *testing.T) {
+	c := newResultCache(8)
+	var evals atomic.Int64
+	started := make(chan struct{})
+	releaseEval := make(chan struct{})
+	eval := func() ([]byte, error) {
+		evals.Add(1)
+		close(started)
+		<-releaseEval
+		return []byte("result"), nil
+	}
+
+	const callers = 8
+	var wg sync.WaitGroup
+	bodies := make([][]byte, callers)
+	// First caller owns the flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		b, _, err := c.do("k", eval)
+		if err != nil {
+			t.Error(err)
+		}
+		bodies[0] = b
+	}()
+	<-started
+	// The rest join it.
+	for i := 1; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b, hit, err := c.do("k", func() ([]byte, error) {
+				evals.Add(1)
+				return nil, fmt.Errorf("second evaluation ran")
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			if !hit {
+				t.Errorf("caller %d: joined flight not reported as hit", i)
+			}
+			bodies[i] = b
+		}(i)
+	}
+	// Give the joiners a moment to block on the flight, then release.
+	time.Sleep(10 * time.Millisecond)
+	close(releaseEval)
+	wg.Wait()
+	if n := evals.Load(); n != 1 {
+		t.Errorf("evaluation ran %d times, want 1", n)
+	}
+	for i, b := range bodies {
+		if string(b) != "result" {
+			t.Errorf("caller %d got %q", i, b)
+		}
+	}
+	if _, ok := c.get("k"); !ok {
+		t.Error("result not stored after flight")
+	}
+}
+
+// TestSingleflightErrorNotCached asserts a failed evaluation is shared
+// with its waiters but not stored, so the next request retries.
+func TestSingleflightErrorNotCached(t *testing.T) {
+	c := newResultCache(8)
+	calls := 0
+	_, _, err := c.do("k", func() ([]byte, error) { calls++; return nil, fmt.Errorf("boom") })
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	if _, ok := c.get("k"); ok {
+		t.Error("failed evaluation cached")
+	}
+	if _, _, err := c.do("k", func() ([]byte, error) { calls++; return []byte("ok"), nil }); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Errorf("eval ran %d times, want 2 (retry after failure)", calls)
+	}
+}

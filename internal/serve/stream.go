@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"spacedc/internal/obs"
+)
+
+// streamEvent is one record on the daemon's live stream: an obs event
+// tagged with the run (cache key) that produced it.
+type streamEvent struct {
+	Run   string  `json:"run"`
+	T     float64 `json:"t"`
+	Name  string  `json:"name"`
+	Kind  string  `json:"kind"`
+	Value float64 `json:"value"`
+}
+
+// streamHub broadcasts per-run obs events to every connected /v1/stream
+// client. Runs launched with ?stream=1 attach their scenario registry's
+// Subscribe channel to the hub; SSE clients subscribe to the merged
+// stream, optionally filtered by run key. Delivery is non-blocking with
+// per-client buffers: a stalled client drops events rather than slowing a
+// run or the other clients.
+type streamHub struct {
+	mu      sync.Mutex
+	nextID  int
+	clients map[int]*streamClient
+	dropped atomic.Int64
+}
+
+// streamClient is one connected SSE consumer.
+type streamClient struct {
+	ch  chan streamEvent
+	run string // non-empty filters to one run key
+}
+
+// newStreamHub builds an empty hub.
+func newStreamHub() *streamHub {
+	return &streamHub{clients: make(map[int]*streamClient)}
+}
+
+// subscribe registers a client; the returned cancel must be called when
+// the client disconnects.
+func (h *streamHub) subscribe(run string, buf int) (<-chan streamEvent, func()) {
+	if buf <= 0 {
+		buf = 256
+	}
+	c := &streamClient{ch: make(chan streamEvent, buf), run: run}
+	h.mu.Lock()
+	id := h.nextID
+	h.nextID++
+	h.clients[id] = c
+	h.mu.Unlock()
+	return c.ch, func() {
+		h.mu.Lock()
+		delete(h.clients, id)
+		h.mu.Unlock()
+	}
+}
+
+// publish fans one event out to every matching client, dropping on full
+// buffers.
+func (h *streamHub) publish(e streamEvent) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, c := range h.clients {
+		if c.run != "" && c.run != e.Run {
+			continue
+		}
+		select {
+		case c.ch <- e:
+		default:
+			h.dropped.Add(1)
+		}
+	}
+}
+
+// clientCount reports connected SSE clients.
+func (h *streamHub) clientCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.clients)
+}
+
+// pump forwards a run registry's event stream into the hub until the
+// channel goes quiet and stop is closed. It is started before the run and
+// reaped after it: the run signals completion by closing stop, after
+// which pump drains whatever is still buffered and exits.
+func (h *streamHub) pump(run string, ch <-chan obs.Event, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	for {
+		select {
+		case e := <-ch:
+			h.publish(streamEvent{Run: run, T: e.TimeSec, Name: e.Name, Kind: e.Kind, Value: e.Value})
+		case <-stop:
+			for {
+				select {
+				case e := <-ch:
+					h.publish(streamEvent{Run: run, T: e.TimeSec, Name: e.Name, Kind: e.Kind, Value: e.Value})
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// handleStream is GET /v1/stream: a Server-Sent Events feed of live run
+// samples ("event: sample|span|transition", one JSON object per data
+// line). ?run=<key> filters to a single run's events. The stream stays
+// open until the client disconnects.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported by this connection", http.StatusNotImplemented)
+		return
+	}
+	ch, cancel := s.hub.subscribe(r.URL.Query().Get("run"), 1024)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	// An initial comment line commits the response headers so clients see
+	// the stream is live before the first event.
+	fmt.Fprint(w, ": stream open\n\n")
+	flusher.Flush()
+
+	s.reg.Counter("serve.stream.clients_total").Inc()
+	for {
+		select {
+		case e := <-ch:
+			kind := e.Kind
+			if kind == "" {
+				kind = "event"
+			}
+			fmt.Fprintf(w, "event: %s\ndata: {\"run\":%s,\"t\":%s,\"name\":%s,\"kind\":%s,\"value\":%s}\n\n",
+				kind, strconv.Quote(e.Run), jsonFloat(e.T), strconv.Quote(e.Name), strconv.Quote(e.Kind), jsonFloat(e.Value))
+			flusher.Flush()
+		case <-s.draining:
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// jsonFloat renders f as a JSON number (non-finite values become 0).
+func jsonFloat(f float64) string {
+	if f != f || f > 1.7e308 || f < -1.7e308 {
+		return "0"
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
