@@ -22,6 +22,7 @@
 //	curl localhost:8080/healthz
 //	curl -X POST localhost:8080/v1/eval -d '{"experiment":"fig9"}'
 //	curl -X POST 'localhost:8080/v1/eval?stream=1' -d '{"netsim":{"sats":16,"per_sat_mbps":1000,"link_outage":0.01}}'
+//	curl -X POST localhost:8080/v1/eval -d '{"workload":{"policy":"priority-retry","campaign":"combined","load":2}}'
 //	curl -N localhost:8080/v1/stream
 //
 // SIGINT/SIGTERM drain in-flight evaluations before exit.

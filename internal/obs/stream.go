@@ -15,6 +15,10 @@ type subscription struct {
 type subscriberSet struct {
 	mu   sync.Mutex // guards Subscribe/cancel rewrites
 	subs atomic.Pointer[[]*subscription]
+	// dropped accumulates drop-on-full losses across all subscriptions,
+	// including canceled ones — the registry-lifetime total behind
+	// DroppedEvents.
+	dropped atomic.Int64
 }
 
 // Subscribe attaches a buffered event channel to the registry: every Emit
@@ -73,6 +77,17 @@ func (r *Registry) Subscribe(buf int) (<-chan Event, func()) {
 	return s.ch, cancel
 }
 
+// DroppedEvents reports the total number of events lost to full subscriber
+// buffers over the registry's lifetime, including subscriptions since
+// canceled (zero on nil). A non-zero value means a reader lagged and its
+// sample stream has gaps — the run itself was never perturbed.
+func (r *Registry) DroppedEvents() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.stream.dropped.Load()
+}
+
 // Subscribers reports the number of live subscriptions (zero on nil).
 func (r *Registry) Subscribers() int {
 	if r == nil {
@@ -96,6 +111,7 @@ func (s *subscriberSet) deliver(e Event) {
 		case sub.ch <- e:
 		default:
 			sub.dropped.Add(1)
+			s.dropped.Add(1)
 		}
 	}
 }

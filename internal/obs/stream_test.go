@@ -117,6 +117,50 @@ func TestSubscribeDropsOnFullBuffer(t *testing.T) {
 	}
 }
 
+// TestDroppedEventsCounts asserts the registry-lifetime drop counter tracks
+// every drop-on-full loss, survives cancel, and sums across subscriptions.
+func TestDroppedEventsCounts(t *testing.T) {
+	r := New()
+	if n := r.DroppedEvents(); n != 0 {
+		t.Fatalf("fresh registry DroppedEvents = %d, want 0", n)
+	}
+	ch, cancel := r.Subscribe(1)
+	for i := 0; i < 3; i++ {
+		r.Emit("x", "sample", float64(i))
+	}
+	if n := r.DroppedEvents(); n != 2 {
+		t.Errorf("DroppedEvents = %d after 3 emits into buf 1, want 2", n)
+	}
+	<-ch // drain one slot; the next emit fits, the one after drops
+	r.Emit("x", "sample", 3)
+	r.Emit("x", "sample", 4)
+	if n := r.DroppedEvents(); n != 3 {
+		t.Errorf("DroppedEvents = %d, want 3", n)
+	}
+	cancel()
+	// The total is registry-lifetime: canceling must not reset it, and a
+	// second lagging subscription keeps accumulating into the same counter.
+	if n := r.DroppedEvents(); n != 3 {
+		t.Errorf("DroppedEvents = %d after cancel, want 3", n)
+	}
+	_, cancel2 := r.Subscribe(1)
+	defer cancel2()
+	r.Emit("x", "sample", 5)
+	r.Emit("x", "sample", 6)
+	if n := r.DroppedEvents(); n != 4 {
+		t.Errorf("DroppedEvents = %d across subscriptions, want 4", n)
+	}
+}
+
+// TestDroppedEventsNilRegistry asserts the nil-safety contract extends to
+// the drop counter.
+func TestDroppedEventsNilRegistry(t *testing.T) {
+	var r *Registry
+	if n := r.DroppedEvents(); n != 0 {
+		t.Errorf("nil registry DroppedEvents = %d, want 0", n)
+	}
+}
+
 // TestSubscribeConcurrentWithEmit hammers Subscribe/cancel against Emit
 // from many goroutines; -race proves the copy-on-write set is sound.
 func TestSubscribeConcurrentWithEmit(t *testing.T) {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"spacedc/internal/discard"
+	"spacedc/internal/obs"
 	"spacedc/internal/thermal"
 	"spacedc/internal/units"
 )
@@ -114,5 +115,80 @@ func TestGovernorDayNightCapacity(t *testing.T) {
 	// Sunlit drains at 0.8×500 W, eclipse at the full 500 W.
 	if math.Abs(sunlit-eclipse-0.2*500*10) > 1e-6 {
 		t.Errorf("day/night drain gap %v J, want 1000", sunlit-eclipse)
+	}
+}
+
+// TestGovernorTransitionEventOrder drives a scripted heat/cool cycle
+// through an instrumented governor and asserts the derate/shed transition
+// events stream in a fixed, fully deterministic order — and that repeated
+// runs from a fresh governor and registry reproduce the sequence exactly.
+// Downstream QoS degradation control keys off these edges, so their order
+// and values must not wander between runs.
+func TestGovernorTransitionEventOrder(t *testing.T) {
+	drive := func() []obs.Event {
+		g := testGovernor(t)
+		reg := obs.New()
+		g.Instrument(reg)
+		ch, cancel := reg.Subscribe(64)
+		defer cancel()
+
+		// Charge past the headroom, sample mid-regime (no edge), then
+		// idle long enough for the 500 W radiator to drain 12 kJ and
+		// recover both regimes.
+		g.Dissipated(0, 1, 12e3)
+		g.Factor(1)
+		g.KeepFactor(1)
+		g.Factor(5)
+		g.KeepFactor(5)
+		g.Factor(60)
+		g.KeepFactor(60)
+
+		var events []obs.Event
+		for {
+			select {
+			case e := <-ch:
+				events = append(events, e)
+			default:
+				return events
+			}
+		}
+	}
+
+	first := drive()
+	wantNames := []string{
+		"resilience.governor.derate", // enter derate at t=1
+		"resilience.governor.shed",   // enter shed at t=1
+		"resilience.governor.derate", // recover by t=60
+		"resilience.governor.shed",   // recover by t=60
+	}
+	if len(first) != len(wantNames) {
+		t.Fatalf("got %d transition events, want %d: %+v", len(first), len(wantNames), first)
+	}
+	for i, e := range first {
+		if e.Name != wantNames[i] {
+			t.Errorf("event %d: name %q, want %q", i, e.Name, wantNames[i])
+		}
+		if e.Kind != "transition" {
+			t.Errorf("event %d: kind %q, want transition", i, e.Kind)
+		}
+	}
+	// Onset events carry the degraded factor, recovery events carry 1.
+	if first[0].Value >= 1 || first[1].Value >= 1 {
+		t.Errorf("onset factors %v, %v should be < 1", first[0].Value, first[1].Value)
+	}
+	if first[2].Value != 1 || first[3].Value != 1 {
+		t.Errorf("recovery factors %v, %v should be exactly 1", first[2].Value, first[3].Value)
+	}
+
+	for run := 1; run <= 3; run++ {
+		again := drive()
+		if len(again) != len(first) {
+			t.Fatalf("run %d: %d events, want %d", run, len(again), len(first))
+		}
+		for i := range first {
+			if again[i] != first[i] {
+				t.Errorf("run %d event %d = %+v, want %+v (non-deterministic stream)", run, i, again[i], first[i])
+			}
+		}
 	}
 }

@@ -100,6 +100,12 @@ func (a *admission) observeEval(secs float64) {
 	}
 }
 
+// AvgEvalSec returns the EWMA of recent evaluation wall times (0 until
+// the first evaluation completes).
+func (a *admission) AvgEvalSec() float64 {
+	return math.Float64frombits(a.avgEvalSec.Load())
+}
+
 // RetryAfterSec estimates how long a rejected client should back off: the
 // queue's expected drain time at the average evaluation rate, floored at
 // one second.

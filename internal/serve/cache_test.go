@@ -83,6 +83,10 @@ func TestDecodeSpecRejects(t *testing.T) {
 		`{"sched":{"satellites":0}}`,
 		`{"sched":{"satellites":2,"app":"NOPE"}}`,
 		`{"sched":{"satellites":2,"device":"tpu9000"}}`,
+		`{"workload":{"load":0}}`,
+		`{"workload":{"load":1,"policy":"bogus"}}`,
+		`{"workload":{"load":1,"campaign":"bogus"}}`,
+		`{"experiment":"fig2","workload":{"load":1}}`, // two kinds
 		`{"unknown_field":1}`,
 		`{"experiment":"fig2"} trailing`,
 	} {

@@ -16,6 +16,7 @@ import (
 	"spacedc/internal/experiments"
 	"spacedc/internal/netsim"
 	"spacedc/internal/obs"
+	"spacedc/internal/qos"
 	"spacedc/internal/report"
 	"spacedc/internal/sched"
 )
@@ -96,6 +97,16 @@ func New(cfg Config) *Server {
 		mux:      http.NewServeMux(),
 		draining: make(chan struct{}),
 	}
+	// Pre-register the load-shedding and error counters so a fresh daemon's
+	// /v1/metrics shows the whole overload surface at zero instead of
+	// growing names as failures first occur.
+	for _, name := range []string{
+		"serve.eval.completed", "serve.eval.errors", "serve.eval.cache_hits",
+		"serve.eval.rejected", "serve.eval.deadline_exceeded",
+		"serve.eval.bad_requests", "serve.stream.run_dropped_events",
+	} {
+		s.reg.Counter(name)
+	}
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("POST /v1/eval", s.handleEval)
 	s.mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
@@ -135,9 +146,11 @@ type evalResponse struct {
 	// to `sudcsim <id>` stdout for experiment specs.
 	Text   string         `json:"text"`
 	Tables []report.Table `json:"tables"`
-	// Netsim/Sched carry the raw simulator result for scenario specs.
-	Netsim *netsim.Result `json:"netsim_result,omitempty"`
-	Sched  *sched.Stats   `json:"sched_stats,omitempty"`
+	// Netsim/Sched/Workload carry the raw simulator result for scenario
+	// specs.
+	Netsim   *netsim.Result `json:"netsim_result,omitempty"`
+	Sched    *sched.Stats   `json:"sched_stats,omitempty"`
+	Workload *qos.Result    `json:"workload_result,omitempty"`
 	// Metrics is the scenario run's deterministic sim-clock obs snapshot
 	// (queue depths, utilizations, latency histograms). Omitted for
 	// experiment specs, whose spans run on the wall clock.
@@ -166,6 +179,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.reg.Gauge("serve.admission.in_flight").Set(float64(s.adm.InFlight()))
 	s.reg.Gauge("serve.admission.queued").Set(float64(s.adm.Queued()))
 	s.reg.Gauge("serve.stream.clients").Set(float64(s.hub.clientCount()))
+	s.reg.Gauge("serve.stream.dropped_events").Set(float64(s.hub.dropped.Load()))
+	s.reg.Gauge("serve.admission.avg_eval_secs").Set(s.adm.AvgEvalSec())
 	if r.URL.Query().Get("format") == "json" {
 		writeJSON(w, http.StatusOK, s.reg.Snapshot())
 		return
@@ -295,6 +310,10 @@ func (s *Server) evaluate(ctx context.Context, key string, spec *EvalSpec, strea
 			close(stop)
 			<-done
 			cancel()
+			// Losses between the run registry and the hub pump (a slow
+			// SSE reader backed up the subscription buffer) roll into a
+			// daemon-lifetime counter once the run detaches.
+			s.reg.Counter("serve.stream.run_dropped_events").Add(int(reg.DroppedEvents()))
 		}
 	}
 
@@ -368,6 +387,29 @@ func (s *Server) evaluate(ctx context.Context, key string, spec *EvalSpec, strea
 		resp.Text = renderTables(tables)
 		resp.Sched = &st
 		resp.Metrics = &snap
+
+	case spec.Workload != nil:
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		sc, err := spec.Workload.scenario()
+		if err != nil {
+			return nil, err
+		}
+		reg := obs.New() // sim clock: snapshot is deterministic
+		sc.Obs = reg
+		detach := attach(reg)
+		res, err := qos.Run(sc)
+		detach()
+		if err != nil {
+			return nil, err
+		}
+		tables := []report.Table{workloadTable(spec.Workload, res)}
+		snap := reg.Snapshot()
+		resp.Tables = tables
+		resp.Text = renderTables(tables)
+		resp.Workload = &res
+		resp.Metrics = &snap
 	}
 	return resp, nil
 }
@@ -414,6 +456,31 @@ func schedTable(ss *SchedSpec, cfg sched.Config, st sched.Stats) report.Table {
 		fmt.Sprintf("%.2f", st.P95LatencySec),
 		fmt.Sprintf("%.1f", st.EnergyPerFrameJ()),
 		fmt.Sprintf("%.3f", st.Utilization))
+	return t
+}
+
+// workloadTable renders a parameterized qos run: one row per priority
+// class in the ext-workload column style, plus the run-level recovery
+// figure in the title.
+func workloadTable(ws *WorkloadSpec, r qos.Result) report.Table {
+	recovery := "n/a"
+	if r.RecoverySec >= 0 {
+		recovery = fmt.Sprintf("%.1f s", r.RecoverySec)
+	}
+	t := report.Table{
+		ID: "workload",
+		Title: fmt.Sprintf("workload scenario %s: %d offered, %d shed, %d failed, recovery %s",
+			r.Name, r.Offered, r.Shed, r.Failed, recovery),
+		Columns: []string{"class", "offered", "admitted", "completed", "shed",
+			"p99 (s)", "SLO", "goodput (req/s)"},
+	}
+	for _, c := range r.Classes {
+		shed := c.ShedAdmission + c.ShedDeadline + c.ShedOverflow
+		t.AddRow(c.Name, c.Offered, c.Admitted, c.Completed, shed,
+			fmt.Sprintf("%.1f", c.P99LatencySec),
+			fmt.Sprintf("%.3f", c.SLOAttainment),
+			fmt.Sprintf("%.1f", c.GoodputPerSec))
+	}
 	return t
 }
 

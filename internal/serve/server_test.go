@@ -166,6 +166,61 @@ func TestEvalSchedScenario(t *testing.T) {
 	}
 }
 
+// TestEvalWorkloadScenario asserts the workload spec path end to end:
+// deterministic bodies across fresh servers, the qos result and sim-clock
+// metrics in the response, a cache hit on repeat, and byte-identity
+// between streamed and unstreamed runs.
+func TestEvalWorkloadScenario(t *testing.T) {
+	const spec = `{"workload":{"policy":"priority","campaign":"ground-outage","load":1.5,"duration_sec":120,"seed":9}}`
+	var bodies [2][]byte
+	for i := range bodies {
+		s := New(Config{})
+		w := post(t, s, "/v1/eval", spec)
+		if w.Code != http.StatusOK {
+			t.Fatalf("server %d: status %d: %s", i, w.Code, w.Body.String())
+		}
+		bodies[i] = w.Body.Bytes()
+	}
+	if !bytes.Equal(bodies[0], bodies[1]) {
+		t.Error("identical workload spec produced different bodies on two fresh servers")
+	}
+	resp := decodeEval(t, bodies[0])
+	if resp.Workload == nil {
+		t.Fatal("workload eval response missing workload_result")
+	}
+	if resp.Workload.Offered == 0 || resp.Workload.Completed == 0 {
+		t.Errorf("workload run served nothing: %+v", resp.Workload)
+	}
+	if len(resp.Workload.Classes) != 3 {
+		t.Errorf("workload result has %d classes, want 3", len(resp.Workload.Classes))
+	}
+	if resp.Metrics == nil || len(resp.Metrics.Counters) == 0 {
+		t.Error("workload eval response missing sim-clock metrics snapshot")
+	}
+	if !strings.Contains(resp.Text, "workload scenario") {
+		t.Errorf("text rendering missing table title:\n%s", resp.Text)
+	}
+
+	// Repeat on the same server: cache hit, same bytes. A streamed run
+	// bypasses the cache read but must still produce the identical body.
+	s := New(Config{})
+	first := post(t, s, "/v1/eval", spec)
+	if got := first.Header().Get("X-Cache"); got != "miss" {
+		t.Errorf("first eval X-Cache = %q, want miss", got)
+	}
+	second := post(t, s, "/v1/eval", spec)
+	if got := second.Header().Get("X-Cache"); got != "hit" {
+		t.Errorf("second eval X-Cache = %q, want hit", got)
+	}
+	streamed := post(t, s, "/v1/eval?stream=1", spec)
+	if streamed.Code != http.StatusOK {
+		t.Fatalf("streamed eval: status %d: %s", streamed.Code, streamed.Body.String())
+	}
+	if !bytes.Equal(first.Body.Bytes(), streamed.Body.Bytes()) {
+		t.Error("streamed workload run body differs from unstreamed run")
+	}
+}
+
 // TestEvalRejectsBadSpecs asserts malformed bodies are 400s and bump the
 // bad-request counter, never touching admission.
 func TestEvalRejectsBadSpecs(t *testing.T) {
@@ -330,6 +385,43 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 }
 
+// TestMetricsOverloadSurface asserts the admission/stream health gauges and
+// the pre-registered shed counters are visible on a fresh daemon, and that
+// the eval-time EWMA moves after an evaluation completes.
+func TestMetricsOverloadSurface(t *testing.T) {
+	s := New(Config{})
+
+	fresh := get(t, s, "/v1/metrics")
+	if fresh.Code != http.StatusOK {
+		t.Fatalf("metrics: status %d", fresh.Code)
+	}
+	body := fresh.Body.String()
+	for _, name := range []string{
+		"serve.admission.in_flight",
+		"serve.admission.queued",
+		"serve.admission.avg_eval_secs",
+		"serve.stream.clients",
+		"serve.stream.dropped_events",
+		"serve.stream.run_dropped_events",
+		"serve.eval.rejected",
+		"serve.eval.deadline_exceeded",
+		"serve.eval.bad_requests",
+		"serve.eval.errors",
+	} {
+		if !strings.Contains(body, name) {
+			t.Errorf("fresh daemon metrics missing %s:\n%s", name, body)
+		}
+	}
+	if s.adm.AvgEvalSec() != 0 {
+		t.Errorf("fresh daemon AvgEvalSec = %v, want 0", s.adm.AvgEvalSec())
+	}
+
+	post(t, s, "/v1/eval", `{"experiment":"table5"}`)
+	if s.adm.AvgEvalSec() <= 0 {
+		t.Errorf("AvgEvalSec = %v after an eval, want > 0", s.adm.AvgEvalSec())
+	}
+}
+
 // TestStreamSSE runs a streamed netsim eval against a live httptest
 // server and asserts per-step obs samples arrive on /v1/stream tagged
 // with the run's content address.
@@ -402,6 +494,40 @@ func TestStreamSSE(t *testing.T) {
 	// A ?stream=1 run still lands in the cache.
 	if _, ok := s.cache.get(wantRun); !ok {
 		t.Error("streamed run result not cached")
+	}
+
+	// A workload run's per-step qos samples ride the same stream.
+	const wlSpec = `{"workload":{"policy":"priority","campaign":"none","load":0.5,"duration_sec":60,"seed":2}}`
+	wlResp, err := http.Post(ts.URL+"/v1/eval?stream=1", "application/json", strings.NewReader(wlSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wlBody := new(bytes.Buffer)
+	if _, err := wlBody.ReadFrom(wlResp.Body); err != nil {
+		t.Fatal(err)
+	}
+	wlResp.Body.Close()
+	if wlResp.StatusCode != http.StatusOK {
+		t.Fatalf("streamed workload eval: status %d: %s", wlResp.StatusCode, wlBody.String())
+	}
+	wantWl := decodeEval(t, wlBody.Bytes()).Key
+	found = false
+	for scanner.Scan() {
+		line := scanner.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var e streamEvent
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &e); err != nil {
+			t.Fatalf("bad SSE data line %q: %v", line, err)
+		}
+		if e.Run == wantWl && strings.HasPrefix(e.Name, "qos.") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no qos sample for run %s on the stream (scan err: %v)", wantWl, scanner.Err())
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"spacedc/internal/gpusim"
 	"spacedc/internal/isl"
 	"spacedc/internal/netsim"
+	"spacedc/internal/qos"
 	"spacedc/internal/sched"
 	"spacedc/internal/units"
 )
@@ -34,6 +35,9 @@ type EvalSpec struct {
 	Netsim *NetsimSpec `json:"netsim,omitempty"`
 	// Sched runs a parameterized SµDC pipeline scenario.
 	Sched *SchedSpec `json:"sched,omitempty"`
+	// Workload runs an end-to-end QoS scenario: tasking surge, priority
+	// admission, and fault campaign on the calibrated pipeline.
+	Workload *WorkloadSpec `json:"workload,omitempty"`
 }
 
 // NetsimSpec parameterizes one netsim.Scenario over JSON-friendly scalar
@@ -80,6 +84,34 @@ type SchedSpec struct {
 	Seed           int64   `json:"seed,omitempty"`
 }
 
+// WorkloadSpec parameterizes one qos.Run on the shared calibrated
+// pipeline (see experiments.WorkloadScenario): Policy is a qos policy
+// preset ("open", "priority", "priority-retry"; default priority-retry),
+// Campaign a qos fault-campaign preset ("none", "ground-outage",
+// "seu-burst", "radiator-derate", "combined"; default combined), and Load
+// the offered-demand multiplier (1.0 peaks near 1.6× the calibrated
+// admission capacity).
+type WorkloadSpec struct {
+	Policy      string  `json:"policy,omitempty"`
+	Campaign    string  `json:"campaign,omitempty"`
+	Load        float64 `json:"load"`
+	DurationSec float64 `json:"duration_sec,omitempty"`
+	Seed        int64   `json:"seed,omitempty"`
+}
+
+// scenario converts the workload spec into a qos scenario.
+func (ws *WorkloadSpec) scenario() (qos.Scenario, error) {
+	policy := ws.Policy
+	if policy == "" {
+		policy = qos.PolicyPriorityRetry
+	}
+	campaign := ws.Campaign
+	if campaign == "" {
+		campaign = qos.CampaignCombined
+	}
+	return experiments.WorkloadScenario(policy, campaign, ws.Load, ws.DurationSec, ws.Seed)
+}
+
 // devices maps API device names onto the gpusim catalog.
 var devices = map[string]gpusim.Device{
 	"jetson-xavier": gpusim.JetsonXavier,
@@ -104,8 +136,11 @@ func (s *EvalSpec) Validate() error {
 	if s.Sched != nil {
 		n++
 	}
+	if s.Workload != nil {
+		n++
+	}
 	if n != 1 {
-		return fmt.Errorf("spec must set exactly one of experiment, netsim, sched (got %d)", n)
+		return fmt.Errorf("spec must set exactly one of experiment, netsim, sched, workload (got %d)", n)
 	}
 	if s.Experiment != "" && s.Experiment != experiments.All {
 		ids := experiments.IDs()
@@ -147,7 +182,28 @@ func (s *EvalSpec) Validate() error {
 			}
 		}
 	}
+	if ws := s.Workload; ws != nil {
+		if ws.Load <= 0 {
+			return fmt.Errorf("workload: load must be positive, got %g", ws.Load)
+		}
+		if ws.Policy != "" && !nameIn(ws.Policy, qos.PolicyNames()) {
+			return fmt.Errorf("workload: unknown policy %q (have %v)", ws.Policy, qos.PolicyNames())
+		}
+		if ws.Campaign != "" && !nameIn(ws.Campaign, qos.CampaignNames()) {
+			return fmt.Errorf("workload: unknown campaign %q (have %v)", ws.Campaign, qos.CampaignNames())
+		}
+	}
 	return nil
+}
+
+// nameIn reports whether name appears in the preset list.
+func nameIn(name string, names []string) bool {
+	for _, n := range names {
+		if n == name {
+			return true
+		}
+	}
+	return false
 }
 
 // appByID resolves an apps.ID string against the Table 5 catalog.
