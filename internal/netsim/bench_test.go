@@ -1,0 +1,100 @@
+package netsim
+
+import (
+	"reflect"
+	"testing"
+
+	"spacedc/internal/isl"
+	"spacedc/internal/units"
+)
+
+// bigGridScenario is a routing-bound constellation-scale run: hundreds of
+// satellites under a heavy fault regime with light traffic, so stepping
+// cost is dominated by routing updates rather than queue service. It is
+// the workload the incremental maintainer exists for.
+func bigGridScenario(seed int64, full bool) Scenario {
+	return Scenario{
+		Name: "big-grid",
+		Topology: TopologySpec{
+			Kind:    ClusterTopology,
+			Sats:    2000,
+			Cluster: isl.Topology{K: 8, Split: 8},
+			Tech:    isl.Optical10G,
+		},
+		PerSat: units.Mbps / 10,
+		Faults: FaultConfig{
+			LinkOutage:    0.05,
+			LinkMTTRSec:   10,
+			EclipseOutage: true,
+		},
+		StepSec:       0.1,
+		EpochSec:      30,
+		DurationSec:   60,
+		WarmupSec:     10,
+		Seed:          seed,
+		FullRecompute: full,
+	}
+}
+
+func bigGridScenarios(full bool) []Scenario {
+	scs := make([]Scenario, 4)
+	for i := range scs {
+		scs[i] = bigGridScenario(int64(i+1), full)
+	}
+	return scs
+}
+
+// BenchmarkBigGridSweep measures a fault-heavy, routing-bound sweep at
+// constellation scale on both routing paths. The incremental/full-bfs
+// ratio is the tentpole's speedup claim; CI runs it once (-benchtime 1x)
+// as a smoke test that the big-grid workload completes on both paths.
+func BenchmarkBigGridSweep(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		full bool
+	}{{"incremental", false}, {"full-bfs", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			scs := bigGridScenarios(mode.full)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, r := range Sweep(scs, 1) {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBigGridSweepBitIdentityAcrossWorkers pins the acceptance criterion
+// behind the benchmark: at constellation scale the incremental sweep's
+// Results are byte-identical to the full-BFS sweep's, at any worker count.
+func TestBigGridSweepBitIdentityAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("constellation-scale sweep")
+	}
+	shorten := func(scs []Scenario) []Scenario {
+		for i := range scs {
+			scs[i].DurationSec = 20
+			scs[i].WarmupSec = 5
+		}
+		return scs
+	}
+	ref := Sweep(shorten(bigGridScenarios(true)), 1)
+	for _, workers := range []int{1, 4} {
+		got := Sweep(shorten(bigGridScenarios(false)), workers)
+		for i := range got {
+			if got[i].Err != nil || ref[i].Err != nil {
+				t.Fatalf("scenario %d errored: %v / %v", i, got[i].Err, ref[i].Err)
+			}
+			if got[i].Result.RouteRepairs == 0 {
+				t.Fatalf("scenario %d exercised no incremental repairs", i)
+			}
+			if !reflect.DeepEqual(got[i].Result, ref[i].Result) {
+				t.Fatalf("workers=%d scenario %d diverged from full-BFS reference:\nincremental: %+v\nfull:        %+v",
+					workers, i, got[i].Result, ref[i].Result)
+			}
+		}
+	}
+}

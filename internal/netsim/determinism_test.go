@@ -111,7 +111,10 @@ func TestObsCountersMirrorResult(t *testing.T) {
 		"netsim.link_drops":        instr.LinkDrops,
 		"netsim.fault_events":      instr.FaultEvents,
 		"netsim.route_recomputes":  instr.RouteRecomputes,
+		"netsim.route_repairs":     instr.RouteRepairs,
 		"netsim.topology_rebuilds": instr.TopologyRebuilds,
+		"netsim.rebuild_drops":     instr.RebuildDrops,
+		"netsim.late_abandoned":    instr.LateAbandoned,
 	}
 	for name, v := range want {
 		if counters[name] != int64(v) {

@@ -43,14 +43,24 @@ type Result struct {
 	// Loss and recovery accounting.
 	LinkDrops    int // queue overflow + satellite-failure purges
 	NoRouteDrops int // segments emitted while the source was partitioned
+	RebuildDrops int // segments queued on links that vanished at an epoch rebuild
 	Retransmits  int
-	Duplicates   int
-	Abandoned    int // segments that exhausted their attempt budget
+	Duplicates   int // copies arriving after an earlier copy already did
+	// LateAbandoned counts copies that arrived only after the source
+	// exhausted the attempt budget — deliveries the source had written
+	// off, previously misfiled as Duplicates.
+	LateAbandoned int
+	Abandoned     int // segments that exhausted their attempt budget
 
-	// Dynamics accounting.
+	// Dynamics accounting. RouteRecomputes counts every routing update
+	// (full BFS or incremental); RouteRepairs is the subset triggered by
+	// fault/eclipse transitions between epoch rebuilds, which the
+	// incremental maintainer services by subtree repair instead of a full
+	// recompute.
 	FaultEvents      int
 	TopologyRebuilds int
 	RouteRecomputes  int
+	RouteRepairs     int
 	PeakQueueBits    float64
 }
 

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"math/rand"
+	"sort"
 
 	"spacedc/internal/obs"
 	"spacedc/internal/stats"
@@ -57,7 +58,6 @@ func Run(scenario Scenario) (Result, error) {
 	var (
 		offeredBits, deliBits float64
 		inflight              []arrival
-		dirty                 bool
 	)
 
 	// Latency accumulator: a run-local fixed-bucket histogram instead of a
@@ -91,13 +91,15 @@ func Run(scenario Scenario) (Result, error) {
 		}
 		l.q = append(l.q, seg)
 		l.qBits += seg.bits
+		g.markBusy(li)
 	}
 
 	// handleArrival delivers at a sink or forwards one hop onward.
 	handleArrival := func(now float64, a arrival, measure bool) {
 		if g.isSink(a.to) {
 			src := srcByNode[a.seg.flow]
-			if src.ack(a.seg.seq) {
+			switch src.ack(a.seg.seq) {
+			case ackDelivered:
 				if measure {
 					res.DeliveredSegs++
 					deliBits += a.seg.bits
@@ -107,7 +109,11 @@ func Run(scenario Scenario) (Result, error) {
 						latencyTap(l)
 					}
 				}
-			} else {
+			case ackLateAbandoned:
+				if measure {
+					res.LateAbandoned++
+				}
+			default:
 				if measure {
 					res.Duplicates++
 				}
@@ -130,29 +136,42 @@ func Run(scenario Scenario) (Result, error) {
 		// (1) Topology driver: rebuild the link graph each epoch,
 		// carrying queue and fault state across. Links and nodes the new
 		// topology introduced draw their first fault-clock transition now.
+		rebuilt := false
 		if now >= nextEpoch {
 			ng, err := BuildGraph(sc.Topology)
 			if err != nil {
 				return Result{}, err
 			}
-			ng.adoptState(g)
+			if dropped := ng.adoptState(g); measure {
+				res.RebuildDrops += dropped
+			}
 			fs.seed(now, ng)
 			g = ng
 			res.TopologyRebuilds++
-			nextEpoch += sc.EpochSec
-			dirty = true
+			nextEpoch = nextEpochAfter(nextEpoch, now, sc.EpochSec)
+			rebuilt = true
 		}
 
-		// (2) Fault layer: MTBF/MTTR processes and the eclipse sweep.
-		if fs.update(now, g, measure) {
-			dirty = true
-		}
+		// (2) Fault layer: MTBF/MTTR processes and the eclipse sweep. All
+		// of a step's transitions are batched into the graph's pending
+		// usability record before any routing work happens.
+		changed := fs.update(now, g, measure, eclipseOutage)
 
-		// (3) Routing: recompute shortest paths whenever anything moved.
-		if dirty {
+		// (3) Routing: an epoch rebuild always takes the full multi-source
+		// BFS; fault transitions between rebuilds take the incremental
+		// repair path (unless the FullRecompute validation knob forces the
+		// full BFS — both paths produce bit-identical tables and Results).
+		if rebuilt {
 			g.recomputeRoutes(eclipseOutage)
 			res.RouteRecomputes++
-			dirty = false
+		} else if changed {
+			res.RouteRecomputes++
+			res.RouteRepairs++
+			if sc.FullRecompute {
+				g.recomputeRoutes(eclipseOutage)
+			} else {
+				g.repairRoutes(eclipseOutage)
+			}
 		}
 
 		// (4) Deliver segments whose propagation completed.
@@ -188,30 +207,56 @@ func Run(scenario Scenario) (Result, error) {
 			}
 		}
 
-		// (7) Link service: each usable link drains up to capacity × dt.
+		// (7) Link service: each busy, usable link drains up to
+		// capacity × dt. Walking the busy set instead of every link makes
+		// service O(links carrying traffic); sorting it first restores the
+		// ascending-ID order a full scan had, so results are unchanged.
+		// Links drained empty (or purged by a satellite failure) leave the
+		// set; unusable ones stay, holding their queue for recovery.
 		var stepServed, stepCap float64
-		for _, l := range g.Links {
+		sort.Ints(g.busyIDs)
+		keptBusy := g.busyIDs[:0]
+		for _, li := range g.busyIDs {
+			l := g.Links[li]
+			if len(l.q) == 0 {
+				g.busy[li] = false
+				continue
+			}
 			if !g.usable(l, eclipseOutage) {
+				keptBusy = append(keptBusy, li)
 				continue
 			}
 			stepServed += l.serve(now, sc.StepSec, measure, func(seg segment, to int, due float64) {
 				inflight = append(inflight, arrival{due: due, seg: seg, to: to})
 			})
-			stepCap += l.CapacityBps * sc.StepSec
+			if len(l.q) == 0 {
+				g.busy[li] = false
+			} else {
+				keptBusy = append(keptBusy, li)
+			}
 		}
+		g.busyIDs = keptBusy
 
-		// (8) Metrics: sample queue depths.
+		// (8) Metrics: sample queue depths. Only busy links can move their
+		// peak (everything else holds qBits == 0), so the sample walks the
+		// busy set too. The utilization denominator — the full usable
+		// capacity — is instrumented-only and pays the one whole-link scan.
 		if measure {
-			for _, l := range g.Links {
-				if l.qBits > l.peakQBits {
+			for _, li := range g.busyIDs {
+				if l := g.Links[li]; l.qBits > l.peakQBits {
 					l.peakQBits = l.qBits
 				}
 			}
 		}
 		if reg != nil {
 			var qb float64
+			for _, li := range g.busyIDs {
+				qb += g.Links[li].qBits
+			}
 			for _, l := range g.Links {
-				qb += l.qBits
+				if g.usable(l, eclipseOutage) {
+					stepCap += l.CapacityBps * sc.StepSec
+				}
 			}
 			hQBits.Observe(qb)
 			if stepCap > 0 {
@@ -240,12 +285,15 @@ func Run(scenario Scenario) (Result, error) {
 		reg.Histogram("netsim.segment_latency_secs", obs.LatencyBuckets).Merge(lat)
 		reg.Counter("netsim.delivered_segs").Add(res.DeliveredSegs)
 		reg.Counter("netsim.duplicates").Add(res.Duplicates)
+		reg.Counter("netsim.late_abandoned").Add(res.LateAbandoned)
 		reg.Counter("netsim.retransmits").Add(res.Retransmits)
 		reg.Counter("netsim.abandoned").Add(res.Abandoned)
 		reg.Counter("netsim.noroute_drops").Add(res.NoRouteDrops)
 		reg.Counter("netsim.link_drops").Add(res.LinkDrops)
+		reg.Counter("netsim.rebuild_drops").Add(res.RebuildDrops)
 		reg.Counter("netsim.fault_events").Add(res.FaultEvents)
 		reg.Counter("netsim.route_recomputes").Add(res.RouteRecomputes)
+		reg.Counter("netsim.route_repairs").Add(res.RouteRepairs)
 		reg.Counter("netsim.topology_rebuilds").Add(res.TopologyRebuilds)
 		reg.Gauge("netsim.delivery_ratio").Set(res.DeliveryRatio)
 		reg.Gauge("netsim.bottleneck_util").Set(res.BottleneckUtil)
@@ -295,6 +343,20 @@ func (l *Link) serve(now, dt float64, measure bool, deliver func(seg segment, to
 		l.q = l.q[:copy(l.q, l.q[popped:])]
 	}
 	return served
+}
+
+// nextEpochAfter returns the first epoch boundary strictly after now,
+// advancing from the current boundary. Looping the catch-up (rather than
+// a single += epochSec) keeps the driver's invariant nextEpoch > now even
+// when one step spans several epochs (StepSec > EpochSec): a single
+// increment would let nextEpoch fall permanently behind the clock, leaving
+// the driver rebuilding on every subsequent step regardless of the
+// configured epoch cadence.
+func nextEpochAfter(nextEpoch, now, epochSec float64) float64 {
+	for nextEpoch <= now {
+		nextEpoch += epochSec
+	}
+	return nextEpoch
 }
 
 // latencyTap, when set by a test, receives every measured segment's exact

@@ -1,5 +1,10 @@
 package netsim
 
+import (
+	"math"
+	"sort"
+)
+
 // segment is the flow-level unit of transfer: a fixed-size slice of one
 // satellite's stream.
 type segment struct {
@@ -44,11 +49,46 @@ type source struct {
 	buf  []txState
 	head int
 	base int64 // sequence number of buf[head]
+
+	// nextDeadline is a conservative lower bound on the earliest live
+	// deadline in the window: expire returns immediately while now is
+	// before it, instead of walking every outstanding segment every step.
+	// push lowers it on emission and expire re-tightens it on every walk;
+	// acks can only raise the true minimum, so the stale bound stays a
+	// valid lower bound and at worst costs one extra walk. At constellation
+	// scale with deep fault-regime windows this turns the per-step timer
+	// scan from O(outstanding) into O(1) on the (vast majority of) steps
+	// where nothing times out.
+	nextDeadline float64
+
+	// abandoned records, in ascending order, the sequence numbers the
+	// timeout path gave up on whose copies may still be in flight. It is
+	// what lets ack tell a late arrival of an abandoned segment (no
+	// earlier copy ever arrived — not a duplicate) from a true duplicate
+	// of a delivered one. An entry is removed when its first copy lands;
+	// entries whose copies were all dropped persist for the run, so the
+	// record grows with the abandoned count (rare, fault-regime-only) —
+	// never with offered load, keeping transport memory-flat.
+	abandoned []int64
 }
+
+// ackResult classifies what a segment's arrival at a sink meant to its
+// source.
+type ackResult int
+
+const (
+	// ackDelivered: first copy to arrive, segment still outstanding.
+	ackDelivered ackResult = iota
+	// ackDuplicate: an earlier copy already arrived.
+	ackDuplicate
+	// ackLateAbandoned: first copy to arrive, but only after the source
+	// exhausted the attempt budget and abandoned the segment.
+	ackLateAbandoned
+)
 
 // newSource initializes the endpoint.
 func newSource(nodeID int, rateBps, segBits float64, cfg TransportConfig) *source {
-	return &source{node: nodeID, rateBps: rateBps, segmentBits: segBits, cfg: cfg}
+	return &source{node: nodeID, rateBps: rateBps, segmentBits: segBits, cfg: cfg, nextDeadline: math.Inf(1)}
 }
 
 // slot returns seq's index in buf, or -1 when seq is outside the window.
@@ -77,6 +117,9 @@ func (s *source) push(tx txState) {
 		s.head = 0
 	}
 	s.buf = append(s.buf, tx)
+	if tx.deadline < s.nextDeadline {
+		s.nextDeadline = tx.deadline
+	}
 }
 
 // trim pops dead entries off the front of the window.
@@ -111,15 +154,41 @@ func (s *source) generate(now, dt float64, alive bool, emit func(segment)) int {
 	return n
 }
 
-// ack removes a delivered segment; it reports false for a duplicate (an
-// earlier copy already arrived).
-func (s *source) ack(seq int64) bool {
-	i := s.slot(seq)
-	if i < 0 || !s.buf[i].live {
+// ack records a copy's arrival at a sink. The first copy of an
+// outstanding segment is a delivery; a copy of a segment the timeout path
+// already abandoned is a late-after-abandon arrival (no earlier copy made
+// it — the old bool API misfiled these as duplicates once trim popped the
+// window slot); anything else is a true duplicate. A late-after-abandon
+// arrival consumes the abandoned record, so further copies of the same
+// segment count as duplicates of it.
+func (s *source) ack(seq int64) ackResult {
+	if i := s.slot(seq); i >= 0 && s.buf[i].live {
+		s.buf[i].live = false
+		s.trim()
+		return ackDelivered
+	}
+	if s.dropAbandoned(seq) {
+		return ackLateAbandoned
+	}
+	return ackDuplicate
+}
+
+// noteAbandoned inserts seq into the sorted abandoned record.
+func (s *source) noteAbandoned(seq int64) {
+	i := sort.Search(len(s.abandoned), func(i int) bool { return s.abandoned[i] >= seq })
+	s.abandoned = append(s.abandoned, 0)
+	copy(s.abandoned[i+1:], s.abandoned[i:])
+	s.abandoned[i] = seq
+}
+
+// dropAbandoned reports whether seq is in the abandoned record, removing
+// it if so.
+func (s *source) dropAbandoned(seq int64) bool {
+	i := sort.Search(len(s.abandoned), func(i int) bool { return s.abandoned[i] >= seq })
+	if i >= len(s.abandoned) || s.abandoned[i] != seq {
 		return false
 	}
-	s.buf[i].live = false
-	s.trim()
+	s.abandoned = append(s.abandoned[:i], s.abandoned[i+1:]...)
 	return true
 }
 
@@ -132,31 +201,46 @@ func (s *source) ack(seq int64) bool {
 // bit-identical promise rests on, which the old map-backed version had to
 // restore with a collect-and-sort pass every step.
 func (s *source) expire(now float64, alive bool, emit func(segment)) (retransmits, abandoned int) {
+	if now < s.nextDeadline {
+		return 0, 0
+	}
+	next := math.Inf(1)
 	for i := s.head; i < len(s.buf); i++ {
 		tx := &s.buf[i]
-		if !tx.live || now < tx.deadline {
+		if !tx.live {
+			continue
+		}
+		if now < tx.deadline {
+			if tx.deadline < next {
+				next = tx.deadline
+			}
 			continue
 		}
 		if tx.attempts >= s.cfg.MaxAttempts {
 			abandoned++
 			tx.live = false
+			s.noteAbandoned(tx.seg.seq)
 			continue
 		}
 		if !alive {
 			// The satellite is down; push the timer out one RTO and let
 			// recovery retry.
 			tx.deadline = now + s.cfg.RTOSec
-			continue
+		} else {
+			tx.attempts++
+			rto := s.cfg.RTOSec
+			for a := 1; a < tx.attempts; a++ {
+				rto *= s.cfg.Backoff
+			}
+			tx.deadline = now + rto
+			retransmits++
+			emit(tx.seg)
 		}
-		tx.attempts++
-		rto := s.cfg.RTOSec
-		for a := 1; a < tx.attempts; a++ {
-			rto *= s.cfg.Backoff
+		if tx.deadline < next {
+			next = tx.deadline
 		}
-		tx.deadline = now + rto
-		retransmits++
-		emit(tx.seg)
 	}
+	s.nextDeadline = next
 	s.trim()
 	return retransmits, abandoned
 }

@@ -104,6 +104,8 @@ func New(cfg Config) *Server {
 		"serve.eval.completed", "serve.eval.errors", "serve.eval.cache_hits",
 		"serve.eval.rejected", "serve.eval.deadline_exceeded",
 		"serve.eval.bad_requests", "serve.stream.run_dropped_events",
+		"serve.netsim.route_recomputes", "serve.netsim.route_repairs",
+		"serve.netsim.topology_rebuilds", "serve.netsim.rebuild_drops",
 	} {
 		s.reg.Counter(name)
 	}
@@ -364,6 +366,13 @@ func (s *Server) evaluate(ctx context.Context, key string, spec *EvalSpec, strea
 		resp.Text = renderTables(tables)
 		resp.Netsim = &res
 		resp.Metrics = &snap
+		// Mirror the run's routing-dynamics counters into the daemon
+		// registry, aggregating the routing load (and rebuild losses)
+		// served across all netsim evaluations.
+		s.reg.Counter("serve.netsim.route_recomputes").Add(res.RouteRecomputes)
+		s.reg.Counter("serve.netsim.route_repairs").Add(res.RouteRepairs)
+		s.reg.Counter("serve.netsim.topology_rebuilds").Add(res.TopologyRebuilds)
+		s.reg.Counter("serve.netsim.rebuild_drops").Add(res.RebuildDrops)
 
 	case spec.Sched != nil:
 		if err := ctx.Err(); err != nil {

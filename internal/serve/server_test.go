@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"spacedc/internal/experiments"
+	"spacedc/internal/obs"
 	"spacedc/internal/report"
 )
 
@@ -604,5 +605,69 @@ func TestAdmissionQueueCancellation(t *testing.T) {
 	release2()
 	if got := fmt.Sprint(a.InFlight(), a.Queued()); got != "0 0" {
 		t.Errorf("in_flight/queued = %s, want 0 0", got)
+	}
+}
+
+// TestNetsimRoutingCountersSurface asserts the routing-dynamics counters
+// ride both metrics surfaces: pre-registered at zero on a fresh daemon's
+// /v1/metrics, aggregated there after a faulty netsim eval (with the
+// incremental repair path actually exercised), and present per run in the
+// response's sim-clock snapshot.
+func TestNetsimRoutingCountersSurface(t *testing.T) {
+	s := New(Config{})
+
+	routingCounters := []string{
+		"serve.netsim.route_recomputes", "serve.netsim.route_repairs",
+		"serve.netsim.topology_rebuilds", "serve.netsim.rebuild_drops",
+	}
+	fresh := get(t, s, "/v1/metrics")
+	if fresh.Code != http.StatusOK {
+		t.Fatalf("metrics: status %d", fresh.Code)
+	}
+	for _, name := range routingCounters {
+		if !strings.Contains(fresh.Body.String(), name) {
+			t.Errorf("fresh daemon metrics missing pre-registered %s", name)
+		}
+	}
+
+	w := post(t, s, "/v1/eval", `{"netsim":{"sats":8,"per_sat_mbps":100,"duration_sec":60,"link_outage":0.1,"link_mttr_sec":10,"seed":3}}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("eval: status %d: %s", w.Code, w.Body.String())
+	}
+	resp := decodeEval(t, w.Body.Bytes())
+	if resp.Netsim == nil || resp.Metrics == nil {
+		t.Fatal("netsim eval response missing result or metrics snapshot")
+	}
+	if resp.Netsim.RouteRepairs == 0 {
+		t.Fatal("faulty run exercised no incremental route repairs")
+	}
+	snap := map[string]int64{}
+	for _, c := range resp.Metrics.Counters {
+		snap[c.Name] = c.Value
+	}
+	if got := snap["netsim.route_repairs"]; got != int64(resp.Netsim.RouteRepairs) {
+		t.Errorf("snapshot netsim.route_repairs = %d, want %d", got, resp.Netsim.RouteRepairs)
+	}
+
+	jsonW := get(t, s, "/v1/metrics?format=json")
+	if jsonW.Code != http.StatusOK {
+		t.Fatalf("json metrics: status %d", jsonW.Code)
+	}
+	var daemon obs.Snapshot
+	if err := json.Unmarshal(jsonW.Body.Bytes(), &daemon); err != nil {
+		t.Fatal(err)
+	}
+	agg := map[string]int64{}
+	for _, c := range daemon.Counters {
+		agg[c.Name] = c.Value
+	}
+	if got := agg["serve.netsim.route_repairs"]; got != int64(resp.Netsim.RouteRepairs) {
+		t.Errorf("daemon serve.netsim.route_repairs = %d, want %d", got, resp.Netsim.RouteRepairs)
+	}
+	if got := agg["serve.netsim.route_recomputes"]; got != int64(resp.Netsim.RouteRecomputes) {
+		t.Errorf("daemon serve.netsim.route_recomputes = %d, want %d", got, resp.Netsim.RouteRecomputes)
+	}
+	if got := agg["serve.netsim.topology_rebuilds"]; got != int64(resp.Netsim.TopologyRebuilds) {
+		t.Errorf("daemon serve.netsim.topology_rebuilds = %d, want %d", got, resp.Netsim.TopologyRebuilds)
 	}
 }
