@@ -1,0 +1,100 @@
+package econ
+
+import (
+	"math"
+	"testing"
+
+	"spacedc/internal/units"
+)
+
+// FuzzCostModel feeds arbitrary — including NaN, ±Inf, and extreme —
+// model and design parameters through Cost. The contract under test: Cost
+// never panics, and either returns an error or a breakdown whose every
+// field is finite (no NaN, no ±Inf) and whose totals are strictly
+// positive.
+func FuzzCostModel(f *testing.F) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	huge := math.MaxFloat64 / 4
+
+	// Seed corpus: a valid point, then NaN/±Inf/extreme corners on the
+	// axes most likely to poison the arithmetic.
+	f.Add(2940.0, 550.0, 0.05, 4.0, 120.0, 400.0, 4.0, 350.0, 1.2, 40.0, 60.0, 6.0, 5.0,
+		2, 16, 550.0, 4, 2, false, 0, 4, 1)
+	f.Add(nan, 550.0, 0.05, 4.0, 120.0, 400.0, 4.0, 350.0, 1.2, 40.0, 60.0, 6.0, 5.0,
+		2, 16, 550.0, 4, 2, false, 0, 4, 0)
+	f.Add(inf, 550.0, 0.05, 4.0, 120.0, 400.0, 4.0, 350.0, 1.2, 40.0, 60.0, 6.0, 5.0,
+		2, 16, 550.0, 4, 2, false, 0, 4, 2)
+	f.Add(-inf, -550.0, nan, -4.0, nan, inf, -4.0, nan, 0.0, 0.0, -60.0, inf, nan,
+		0, -16, nan, 3, 0, true, -1, 0, 5)
+	f.Add(huge, 550.0, inf, 4.0, huge, 400.0, huge, huge, 1.2, 1e-300, 1e-300, 6.0, 1e-300,
+		1<<20, 1<<20, 35786.0, 1<<10, 1<<10, false, 0, 1<<20, 4)
+	f.Add(2940.0, 550.0, 0.05, 4.0, 120.0, 400.0, 4.0, 350.0, 1.2, 40.0, 60.0, 6.0, 5.0,
+		3, 24, 550.0, 2, 1, true, 3, 8, 3)
+	f.Add(1e-300, 1e-300, 0.0, 1.0, 1e-300, 1e-300, 1e-300, 1e-300, 1.0, huge, huge, 1e-300, huge,
+		1, 1, 1e-300, 2, 1, false, 0, 1, 1)
+
+	recoveries := []string{RecoveryNone, RecoveryRetry, RecoveryCheckpoint,
+		RecoveryDMR, RecoveryTMR, RecoverySAAPause, "bogus"}
+
+	f.Fuzz(func(t *testing.T,
+		launchPerKg, refAlt, surcharge, geoMult,
+		eoMass, busMass, devMass, devPower, overhead,
+		solarW, radW, termMass, years float64,
+		planes, satsPerPlane int, altKm float64, k, split int,
+		geo bool, geoSinks, devices, recIdx int,
+	) {
+		m := DefaultCostModel()
+		m.LaunchPerKg = units.Money(launchPerKg)
+		m.RefAltitudeKm = refAlt
+		m.AltitudeSurcharge = surcharge
+		m.GEOLaunchMult = geoMult
+		m.EOSatMassKg = eoMass
+		m.SuDCBusMassKg = busMass
+		m.DeviceMassKg = devMass
+		m.DevicePowerW = devPower
+		m.PowerOverhead = overhead
+		m.SolarSpecificWPerKg = solarW
+		m.RadiatorSpecificWPerKg = radW
+		m.ISLTerminalMassKg = termMass
+		m.AmortizationYears = years
+
+		idx := recIdx % len(recoveries)
+		if idx < 0 {
+			idx += len(recoveries)
+		}
+		d := Design{
+			Planes:         planes,
+			SatsPerPlane:   satsPerPlane,
+			AltitudeKm:     altKm,
+			K:              k,
+			Split:          split,
+			GEO:            geo,
+			GEOSinks:       geoSinks,
+			DevicesPerSuDC: devices,
+			Recovery:       recoveries[idx],
+		}
+
+		b, err := Cost(m, d)
+		if err != nil {
+			return
+		}
+		for name, v := range map[string]float64{
+			"EffectiveDevices": b.EffectiveDevices,
+			"PowerW":           b.PowerW,
+			"WetMassKg":        b.WetMassKg,
+			"LaunchCost":       float64(b.LaunchCost),
+			"HardwareCost":     float64(b.HardwareCost),
+			"TotalCost":        float64(b.TotalCost),
+			"PerHour":          float64(b.PerHour),
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s = %v is not finite (model %+v, design %+v)", name, v, m, d)
+			}
+		}
+		if b.TotalCost <= 0 || b.PerHour <= 0 {
+			t.Fatalf("non-positive cost %v / %v per hour (model %+v, design %+v)",
+				b.TotalCost, b.PerHour, m, d)
+		}
+	})
+}

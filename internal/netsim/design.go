@@ -1,0 +1,104 @@
+package netsim
+
+import (
+	"fmt"
+
+	"spacedc/internal/isl"
+)
+
+// MaxDesignNodes caps the node population a design-space candidate may
+// instantiate. The optimizer proposes constellations mechanically; without
+// a ceiling a mutated planes×sats-per-plane pair can silently overflow or
+// ask the simulator for a multi-million-node graph mid-search.
+const MaxDesignNodes = 1 << 20
+
+// DesignError is the typed rejection for structurally invalid candidate
+// designs. Candidate evaluation must distinguish "this design is
+// impossible" (skip it, never score it) from an internal simulator fault,
+// so the construction path returns *DesignError for the former.
+type DesignError struct {
+	// Field names the design axis that failed validation.
+	Field string
+	// Reason says why.
+	Reason string
+}
+
+func (e *DesignError) Error() string {
+	return fmt.Sprintf("netsim: invalid design: %s: %s", e.Field, e.Reason)
+}
+
+func designErrf(field, format string, args ...any) *DesignError {
+	return &DesignError{Field: field, Reason: fmt.Sprintf(format, args...)}
+}
+
+// DesignTopology builds the per-plane TopologySpec for one candidate
+// constellation design, validating the planes×sats-per-plane bounds and
+// the ISL budget before any graph exists. It is the construction path the
+// design-space optimizer evaluates candidates through; unlike the serving
+// layer's lenient spec decoding (which clamps a zero K to a ring), it
+// REJECTS degenerate designs with a *DesignError. A zero-ISL-budget
+// design (k = 0) would otherwise build an empty-fabric graph that ships
+// nothing and — at zero marginal cost — scores an infinite
+// goodput-per-dollar objective, silently winning the search.
+//
+// Cluster designs set geoSinks = 0; GEO-star designs set k = 0, split = 0
+// and geoSinks ≥ 1. The returned spec describes ONE plane of the design
+// (the in-plane cluster formation is per-plane; a GEO star serves each
+// plane's block of satellites through its shared sinks), so callers scale
+// per-plane results by the plane count.
+func DesignTopology(planes, satsPerPlane int, altKm float64, k, split, geoSinks int, tech isl.LinkTech) (TopologySpec, error) {
+	if planes < 1 {
+		return TopologySpec{}, designErrf("planes", "need ≥ 1, got %d", planes)
+	}
+	if satsPerPlane < 1 {
+		return TopologySpec{}, designErrf("sats-per-plane", "need ≥ 1, got %d", satsPerPlane)
+	}
+	// Overflow-safe population bound: check with division before
+	// multiplying.
+	if satsPerPlane > MaxDesignNodes/planes {
+		return TopologySpec{}, designErrf("planes×sats-per-plane",
+			"%d×%d exceeds the %d-node design ceiling", planes, satsPerPlane, MaxDesignNodes)
+	}
+	if !(altKm > 0) || altKm > 100e3 {
+		return TopologySpec{}, designErrf("altitude", "need 0 < alt ≤ 100000 km, got %v", altKm)
+	}
+	if tech.Capacity <= 0 {
+		return TopologySpec{}, designErrf("link-tech", "non-positive capacity %v", tech.Capacity)
+	}
+
+	geo := geoSinks > 0
+	if geo {
+		if k != 0 || split != 0 {
+			return TopologySpec{}, designErrf("topology",
+				"GEO-star design cannot also carry a cluster fabric (k=%d split=%d)", k, split)
+		}
+		return TopologySpec{
+			Kind:     GEOStarTopology,
+			Sats:     satsPerPlane, // per-plane block; sinks are shared
+			Tech:     tech,
+			GEOSinks: geoSinks,
+			LowAltKm: altKm,
+		}, nil
+	}
+
+	// Cluster design: the ISL budget must buy a real fabric. k = 0 is the
+	// zero-ISL-budget degenerate case this path exists to reject.
+	if k < 2 || k%2 != 0 {
+		return TopologySpec{}, designErrf("isl-budget",
+			"cluster fabric needs an even receiver fan-in K ≥ 2, got %d (a zero-ISL design ships nothing)", k)
+	}
+	if split < 1 {
+		return TopologySpec{}, designErrf("split", "need ≥ 1 SµDC per plane, got %d", split)
+	}
+	if satsPerPlane < k*split {
+		return TopologySpec{}, designErrf("sats-per-plane",
+			"%d satellites cannot populate %d sinks × %d receivers", satsPerPlane, split, k)
+	}
+	return TopologySpec{
+		Kind:     ClusterTopology,
+		Sats:     satsPerPlane,
+		Cluster:  isl.Topology{K: k, Split: split},
+		Tech:     tech,
+		LowAltKm: altKm,
+	}, nil
+}

@@ -1,0 +1,109 @@
+package optimize
+
+import (
+	"fmt"
+
+	"spacedc/internal/econ"
+	"spacedc/internal/report"
+)
+
+// describeTopology names a design's ISL layout for trace rows.
+func describeTopology(d econ.Design) string {
+	if d.GEO {
+		return fmt.Sprintf("geo%d", d.GEOSinks)
+	}
+	if d.K == 2 && d.Split == 1 {
+		return "ring"
+	}
+	return fmt.Sprintf("k%d×%d", d.K, d.Split)
+}
+
+// designCells renders the shared design columns.
+func designCells(d econ.Design) []interface{} {
+	return []interface{}{
+		fmt.Sprintf("%d×%d", d.Planes, d.SatsPerPlane),
+		fmt.Sprintf("%.0f", d.AltitudeKm),
+		describeTopology(d),
+		d.DevicesPerSuDC,
+		d.Recovery,
+	}
+}
+
+// scoreCells renders the shared score columns.
+func scoreCells(s Score) []interface{} {
+	if !s.Feasible {
+		return []interface{}{"—", "—", "—", "—", "infeasible"}
+	}
+	return []interface{}{
+		fmt.Sprintf("%.0f", s.GoodputMbps),
+		fmt.Sprintf("%.3f", s.ComputeRatio),
+		fmt.Sprintf("%.0f", s.CostPerHour),
+		fmt.Sprintf("%.4f", s.Objective),
+		"",
+	}
+}
+
+// TraceTable renders the search trace: one row per proposal, in proposal
+// order — the artifact the bit-identity suite compares across worker
+// counts.
+func TraceTable(out *Outcome) report.Table {
+	t := report.Table{
+		ID:    "ext-optimize-trace",
+		Title: "Design-space search trace (goodput per dollar-hour objective)",
+		Note: "one row per proposal in index order; move marks restarts (R), accepted moves (A), cache hits (C); " +
+			"objective is delivered-and-surviving Mbps per amortized $/hour",
+		Columns: []string{"#", "chain", "move", "planes×sats", "alt (km)", "topology",
+			"devices", "recovery", "goodput (Mbps)", "compute ratio", "$/h", "objective", "note"},
+	}
+	for _, c := range out.Trace {
+		move := ""
+		if c.Restart {
+			move += "R"
+		}
+		if c.Accepted {
+			move += "A"
+		}
+		if c.Cached {
+			move += "C"
+		}
+		cells := []interface{}{c.Index, c.Chain, move}
+		cells = append(cells, designCells(c.Design)...)
+		cells = append(cells, scoreCells(c.Score)...)
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// ParetoTable renders the final cost-vs-goodput frontier plus the best
+// candidate and the search counters.
+func ParetoTable(out *Outcome) report.Table {
+	t := report.Table{
+		ID:    "ext-optimize-pareto",
+		Title: "Cost-vs-goodput Pareto frontier over evaluated designs",
+		Note: fmt.Sprintf("best objective %.4f at %s; %d proposals = %d evaluated + %d cache hits "+
+			"(%d infeasible, %d accepted, %d rejected, %d restarts)",
+			out.Best.Score.Objective, Key(out.Best.Design),
+			out.Proposals, out.Evaluated, out.CacheHits,
+			out.Infeasible, out.Accepted, out.Rejected, out.Restarts),
+		Columns: []string{"planes×sats", "alt (km)", "topology", "devices", "recovery",
+			"goodput (Mbps)", "compute ratio", "$/h", "objective", "best"},
+	}
+	for _, c := range out.Pareto {
+		cells := designCells(c.Design)
+		s := scoreCells(c.Score)
+		cells = append(cells, s[:4]...)
+		mark := ""
+		if Key(c.Design) == Key(out.Best.Design) {
+			mark = "◀"
+		}
+		cells = append(cells, mark)
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// Tables renders the full outcome (trace + Pareto), the artifact both the
+// ext-optimize experiment and the daemon's optimize spec emit.
+func Tables(out *Outcome) []report.Table {
+	return []report.Table{TraceTable(out), ParetoTable(out)}
+}

@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// optimizeSpecSmall is a fast 8-design search: one plane, one altitude,
+// a ring fabric, and a 2×2 sizing grid, fully evaluated within a handful
+// of proposals.
+const optimizeSpecSmall = `{"optimize":{"seed":5,"budget":8,"restarts":2,"anneal":true,` +
+	`"space":{"planes":[1],"sats_per_plane":[8,12],"altitudes_km":[550],` +
+	`"topologies":[{"k":2,"split":1}],"devices":[1,2],"recoveries":["none","retry"]}}}`
+
+// TestEvalOptimizeScenario asserts the optimize spec kind end to end:
+// byte-identical bodies across two fresh server instances, the raw
+// outcome and sim-clock optimizer metrics in the response, and a
+// byte-identical cache hit on repeat.
+func TestEvalOptimizeScenario(t *testing.T) {
+	var bodies [2][]byte
+	for i := range bodies {
+		s := New(Config{})
+		w := post(t, s, "/v1/eval", optimizeSpecSmall)
+		if w.Code != http.StatusOK {
+			t.Fatalf("server %d: status %d: %s", i, w.Code, w.Body.String())
+		}
+		bodies[i] = w.Body.Bytes()
+	}
+	if !bytes.Equal(bodies[0], bodies[1]) {
+		t.Error("identical optimize spec produced different bodies on two fresh servers")
+	}
+	resp := decodeEval(t, bodies[0])
+	if resp.Optimize == nil {
+		t.Fatal("optimize eval response missing optimize_result")
+	}
+	if resp.Optimize.Proposals != 8 {
+		t.Errorf("search made %d proposals, want the full budget of 8", resp.Optimize.Proposals)
+	}
+	if !resp.Optimize.Best.Score.Feasible || resp.Optimize.Best.Score.Objective <= 0 {
+		t.Errorf("degenerate best candidate: %+v", resp.Optimize.Best)
+	}
+	if len(resp.Optimize.Trace) != 8 || len(resp.Optimize.Pareto) == 0 {
+		t.Errorf("trace/pareto sizes %d/%d", len(resp.Optimize.Trace), len(resp.Optimize.Pareto))
+	}
+	if resp.Metrics == nil {
+		t.Fatal("optimize eval response missing sim-clock metrics snapshot")
+	}
+	counters := map[string]int64{}
+	for _, c := range resp.Metrics.Counters {
+		counters[c.Name] = c.Value
+	}
+	if got := counters["optimize.proposals"]; got != int64(resp.Optimize.Proposals) {
+		t.Errorf("snapshot optimize.proposals = %d, want %d", got, resp.Optimize.Proposals)
+	}
+	if !strings.Contains(resp.Text, "ext-optimize-pareto") {
+		t.Errorf("text rendering missing pareto table:\n%s", resp.Text)
+	}
+
+	// Repeat on one server: a cache hit replaying the stored bytes.
+	s := New(Config{})
+	first := post(t, s, "/v1/eval", optimizeSpecSmall)
+	if got := first.Header().Get("X-Cache"); got != "miss" {
+		t.Errorf("first eval X-Cache = %q, want miss", got)
+	}
+	second := post(t, s, "/v1/eval", optimizeSpecSmall)
+	if got := second.Header().Get("X-Cache"); got != "hit" {
+		t.Errorf("second eval X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Error("cache hit body differs from original")
+	}
+
+	// The daemon registry aggregated the search counters.
+	metrics := get(t, s, "/v1/metrics")
+	if !strings.Contains(metrics.Body.String(), "serve.optimize.proposals") {
+		t.Errorf("daemon metrics missing serve.optimize.proposals:\n%s", metrics.Body.String())
+	}
+}
+
+// TestEvalOptimizeRejectsBadSpecs asserts optimize validation failures are
+// 400s: budget over the cap, a second scenario kind, and an empty-axis
+// space override.
+func TestEvalOptimizeRejectsBadSpecs(t *testing.T) {
+	s := New(Config{})
+	for _, body := range []string{
+		`{"optimize":{"budget":100000}}`,
+		`{"optimize":{"budget":-1}}`,
+		`{"optimize":{"init_temp":-0.5}}`,
+		`{"optimize":{"budget":4},"experiment":"table5"}`,
+		`{"optimize":{"space":{"planes":[1]}}}`,
+	} {
+		if w := post(t, s, "/v1/eval", body); w.Code != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400: %s", body, w.Code, w.Body.String())
+		}
+	}
+}
+
+// TestOptimizeStreamSSE runs a streamed optimize eval against a live
+// httptest server and asserts per-round best-objective progress samples
+// arrive on /v1/stream tagged with the run's content address.
+func TestOptimizeStreamSSE(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Drain()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer streamResp.Body.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for s.hub.clientCount() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stream client never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	evalResp, err := http.Post(ts.URL+"/v1/eval?stream=1", "application/json", strings.NewReader(optimizeSpecSmall))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evalBody := new(bytes.Buffer)
+	if _, err := evalBody.ReadFrom(evalResp.Body); err != nil {
+		t.Fatal(err)
+	}
+	evalResp.Body.Close()
+	if evalResp.StatusCode != http.StatusOK {
+		t.Fatalf("streamed optimize eval: status %d: %s", evalResp.StatusCode, evalBody.String())
+	}
+	wantRun := decodeEval(t, evalBody.Bytes()).Key
+
+	scanner := bufio.NewScanner(streamResp.Body)
+	found := false
+	for scanner.Scan() {
+		line := scanner.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var e streamEvent
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &e); err != nil {
+			t.Fatalf("bad SSE data line %q: %v", line, err)
+		}
+		if e.Run == wantRun && e.Name == "optimize.best_objective" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no optimize.best_objective sample for run %s on the stream (scan err: %v)", wantRun, scanner.Err())
+	}
+
+	// The streamed run still lands in the cache.
+	if _, ok := s.cache.get(wantRun); !ok {
+		t.Error("streamed optimize run result not cached")
+	}
+}
+
+// TestOptimizeDeadline asserts a deadline that expires mid-search surfaces
+// as 504 and that the failure is never cached — a retry re-runs the
+// search instead of replaying an error body.
+func TestOptimizeDeadline(t *testing.T) {
+	s := New(Config{EvalTimeout: 30 * time.Millisecond})
+	// The default 2880-design space at the full budget cap takes far longer
+	// than the timeout, so the deadline reliably lands mid-search.
+	const spec = `{"optimize":{"seed":1,"budget":512,"restarts":8}}`
+	w := post(t, s, "/v1/eval", spec)
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("deadline optimize eval: status %d, want 504: %s", w.Code, w.Body.String())
+	}
+	if got := s.cache.len(); got != 0 {
+		t.Errorf("failed evaluation cached: %d entries, want 0", got)
+	}
+	// A retry is admitted and evaluated fresh (and times out again under the
+	// same server-side cap — never replayed from the cache).
+	retry := post(t, s, "/v1/eval", spec)
+	if retry.Code != http.StatusGatewayTimeout {
+		t.Fatalf("retry: status %d, want 504", retry.Code)
+	}
+	if got := retry.Header().Get("X-Cache"); got == "hit" {
+		t.Error("retry after deadline served from cache")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"spacedc/internal/experiments"
 	"spacedc/internal/netsim"
 	"spacedc/internal/obs"
+	"spacedc/internal/optimize"
 	"spacedc/internal/qos"
 	"spacedc/internal/report"
 	"spacedc/internal/sched"
@@ -106,6 +107,10 @@ func New(cfg Config) *Server {
 		"serve.eval.bad_requests", "serve.stream.run_dropped_events",
 		"serve.netsim.route_recomputes", "serve.netsim.route_repairs",
 		"serve.netsim.topology_rebuilds", "serve.netsim.rebuild_drops",
+		"serve.optimize.proposals", "serve.optimize.evaluated",
+		"serve.optimize.cache_hits", "serve.optimize.infeasible",
+		"serve.optimize.accepted", "serve.optimize.rejected",
+		"serve.optimize.restarts",
 	} {
 		s.reg.Counter(name)
 	}
@@ -148,11 +153,12 @@ type evalResponse struct {
 	// to `sudcsim <id>` stdout for experiment specs.
 	Text   string         `json:"text"`
 	Tables []report.Table `json:"tables"`
-	// Netsim/Sched/Workload carry the raw simulator result for scenario
-	// specs.
-	Netsim   *netsim.Result `json:"netsim_result,omitempty"`
-	Sched    *sched.Stats   `json:"sched_stats,omitempty"`
-	Workload *qos.Result    `json:"workload_result,omitempty"`
+	// Netsim/Sched/Workload/Optimize carry the raw simulator result for
+	// scenario specs.
+	Netsim   *netsim.Result    `json:"netsim_result,omitempty"`
+	Sched    *sched.Stats      `json:"sched_stats,omitempty"`
+	Workload *qos.Result       `json:"workload_result,omitempty"`
+	Optimize *optimize.Outcome `json:"optimize_result,omitempty"`
 	// Metrics is the scenario run's deterministic sim-clock obs snapshot
 	// (queue depths, utilizations, latency histograms). Omitted for
 	// experiment specs, whose spans run on the wall clock.
@@ -419,6 +425,38 @@ func (s *Server) evaluate(ctx context.Context, key string, spec *EvalSpec, strea
 		resp.Text = renderTables(tables)
 		resp.Workload = &res
 		resp.Metrics = &snap
+
+	case spec.Optimize != nil:
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		cfg, space := spec.Optimize.config(s.cfg.Workers)
+		// Sim clock: the optimizer stamps progress samples by proposal
+		// count, so the snapshot is deterministic and SSE subscribers watch
+		// the search converge live.
+		reg := obs.New()
+		cfg.Obs = reg
+		detach := attach(reg)
+		out, err := optimize.Search(ctx, cfg, space)
+		detach()
+		if err != nil {
+			return nil, err
+		}
+		tables := optimize.Tables(out)
+		snap := reg.Snapshot()
+		resp.Tables = tables
+		resp.Text = renderTables(tables)
+		resp.Optimize = out
+		resp.Metrics = &snap
+		// Mirror the search counters into the daemon registry, aggregating
+		// the optimizer load served across all evaluations.
+		s.reg.Counter("serve.optimize.proposals").Add(out.Proposals)
+		s.reg.Counter("serve.optimize.evaluated").Add(out.Evaluated)
+		s.reg.Counter("serve.optimize.cache_hits").Add(out.CacheHits)
+		s.reg.Counter("serve.optimize.infeasible").Add(out.Infeasible)
+		s.reg.Counter("serve.optimize.accepted").Add(out.Accepted)
+		s.reg.Counter("serve.optimize.rejected").Add(out.Rejected)
+		s.reg.Counter("serve.optimize.restarts").Add(out.Restarts)
 	}
 	return resp, nil
 }

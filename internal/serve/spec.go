@@ -18,15 +18,15 @@ import (
 	"spacedc/internal/gpusim"
 	"spacedc/internal/isl"
 	"spacedc/internal/netsim"
+	"spacedc/internal/optimize"
 	"spacedc/internal/qos"
 	"spacedc/internal/sched"
 	"spacedc/internal/units"
 )
 
-// EvalSpec is the body of POST /v1/eval: exactly one of the three
-// scenario kinds must be set. The spec is the cache identity — two
-// requests whose normalized specs are equal share one evaluation and one
-// cached result.
+// EvalSpec is the body of POST /v1/eval: exactly one of the scenario
+// kinds must be set. The spec is the cache identity — two requests whose
+// normalized specs are equal share one evaluation and one cached result.
 type EvalSpec struct {
 	// Experiment runs one registered experiment by ID (or "all" for the
 	// registry-wide sweep).
@@ -38,6 +38,9 @@ type EvalSpec struct {
 	// Workload runs an end-to-end QoS scenario: tasking surge, priority
 	// admission, and fault campaign on the calibrated pipeline.
 	Workload *WorkloadSpec `json:"workload,omitempty"`
+	// Optimize runs a constellation design-space search maximizing goodput
+	// per dollar-hour.
+	Optimize *OptimizeSpec `json:"optimize,omitempty"`
 }
 
 // NetsimSpec parameterizes one netsim.Scenario over JSON-friendly scalar
@@ -99,6 +102,46 @@ type WorkloadSpec struct {
 	Seed        int64   `json:"seed,omitempty"`
 }
 
+// OptimizeSpec parameterizes one optimize.Search over the daemon's study
+// evaluation pipeline (see experiments.OptimizeStudyEval). Zero fields
+// inherit the optimizer defaults; Space overrides the default 2880-design
+// study space. Budget is capped so one request cannot buy unbounded
+// compute from an admission slot.
+type OptimizeSpec struct {
+	Seed          int64   `json:"seed,omitempty"`
+	Budget        int     `json:"budget,omitempty"`
+	Restarts      int     `json:"restarts,omitempty"`
+	StalePatience int     `json:"stale_patience,omitempty"`
+	Anneal        bool    `json:"anneal,omitempty"`
+	InitTemp      float64 `json:"init_temp,omitempty"`
+	// Space, when set, replaces optimize.DefaultSpace as the search space.
+	Space *optimize.Space `json:"space,omitempty"`
+}
+
+// maxOptimizeBudget bounds the per-request proposal budget.
+const maxOptimizeBudget = 512
+
+// config converts the optimize spec into a search configuration plus
+// space. The pool fan-out comes from the daemon (the sudcsimd -workers
+// knob); results are bit-identical at any value.
+func (os *OptimizeSpec) config(workers int) (optimize.Config, optimize.Space) {
+	cfg := optimize.Config{
+		Seed:          os.Seed,
+		Budget:        os.Budget,
+		Restarts:      os.Restarts,
+		StalePatience: os.StalePatience,
+		Anneal:        os.Anneal,
+		InitTemp:      os.InitTemp,
+		Workers:       workers,
+		Eval:          experiments.OptimizeStudyEval(),
+	}
+	space := optimize.DefaultSpace()
+	if os.Space != nil {
+		space = *os.Space
+	}
+	return cfg, space
+}
+
 // scenario converts the workload spec into a qos scenario.
 func (ws *WorkloadSpec) scenario() (qos.Scenario, error) {
 	policy := ws.Policy
@@ -139,8 +182,11 @@ func (s *EvalSpec) Validate() error {
 	if s.Workload != nil {
 		n++
 	}
+	if s.Optimize != nil {
+		n++
+	}
 	if n != 1 {
-		return fmt.Errorf("spec must set exactly one of experiment, netsim, sched, workload (got %d)", n)
+		return fmt.Errorf("spec must set exactly one of experiment, netsim, sched, workload, optimize (got %d)", n)
 	}
 	if s.Experiment != "" && s.Experiment != experiments.All {
 		ids := experiments.IDs()
@@ -191,6 +237,22 @@ func (s *EvalSpec) Validate() error {
 		}
 		if ws.Campaign != "" && !nameIn(ws.Campaign, qos.CampaignNames()) {
 			return fmt.Errorf("workload: unknown campaign %q (have %v)", ws.Campaign, qos.CampaignNames())
+		}
+	}
+	if op := s.Optimize; op != nil {
+		if op.Budget < 0 || op.Budget > maxOptimizeBudget {
+			return fmt.Errorf("optimize: budget %d outside [0, %d]", op.Budget, maxOptimizeBudget)
+		}
+		if op.Restarts < 0 || op.Restarts > maxOptimizeBudget {
+			return fmt.Errorf("optimize: restarts %d outside [0, %d]", op.Restarts, maxOptimizeBudget)
+		}
+		if op.StalePatience < 0 || op.InitTemp < 0 {
+			return fmt.Errorf("optimize: stale_patience and init_temp must be non-negative")
+		}
+		if op.Space != nil {
+			if err := op.Space.Validate(); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
