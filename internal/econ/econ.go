@@ -184,6 +184,18 @@ func (m CostModel) Validate() error {
 	return nil
 }
 
+// Inter-shell rule names for multi-shell designs, mirroring
+// netsim.InterShellKind.String().
+const (
+	InterShellAligned = "aligned"
+	InterShellNearest = "nearest"
+)
+
+// ShellSpacingKm is the altitude gap between consecutive shells of a
+// multi-shell design: shell i sits at AltitudeKm + i·ShellSpacingKm. It
+// sizes both the per-shell launch surcharge and the cross-link range.
+const ShellSpacingKm = 250
+
 // Design is one constellation candidate the model prices: a Walker-style
 // constellation of Planes identical planes, each carrying SatsPerPlane EO
 // satellites, with SµDC compute either split across the planes (the
@@ -208,6 +220,17 @@ type Design struct {
 	// Recovery names the resilience policy riding on the design; it
 	// scales the device complement via RecoveryDeviceFactor.
 	Recovery string
+
+	// Shells stacks the whole cluster design Shells times, each copy one
+	// ShellSpacingKm above the last (shell i launches at its own
+	// altitude-surcharged $/kg). 0 and 1 both mean the plain single-shell
+	// design. GEO designs cannot stack.
+	Shells int
+	// InterShell names the cross-link rule between adjacent shells
+	// (InterShellAligned or InterShellNearest; empty means aligned). Each
+	// adjacent pair buys one cross-link terminal pair per satellite per
+	// plane, launched at the two shells' own rates.
+	InterShell string
 }
 
 // Validate rejects structurally impossible designs.
@@ -239,30 +262,56 @@ func (d Design) Validate() error {
 	if _, err := RecoveryDeviceFactor(d.Recovery); err != nil {
 		return err
 	}
+	if d.Shells < 0 {
+		return fmt.Errorf("econ: negative shell count %d", d.Shells)
+	}
+	if d.Shells > 1 && d.GEO {
+		return fmt.Errorf("econ: GEO designs cannot stack %d shells", d.Shells)
+	}
+	switch d.InterShell {
+	case "", InterShellAligned, InterShellNearest:
+	default:
+		return fmt.Errorf("econ: unknown inter-shell rule %q", d.InterShell)
+	}
 	return nil
 }
 
-// TotalSats returns the EO satellite population.
-func (d Design) TotalSats() int { return d.Planes * d.SatsPerPlane }
+// shellCount normalizes Shells: 0 and 1 are both the single-shell design.
+func (d Design) shellCount() int {
+	if d.Shells < 2 {
+		return 1
+	}
+	return d.Shells
+}
 
-// SuDCs returns the SµDC count: Split per plane for cluster designs, the
-// shared GEO star size otherwise.
+// crossLinkPairs returns the constellation-wide count of inter-shell
+// cross-link pairs: one per satellite per plane per adjacent shell pair.
+func (d Design) crossLinkPairs() int {
+	return (d.shellCount() - 1) * d.Planes * d.SatsPerPlane
+}
+
+// TotalSats returns the EO satellite population across all shells.
+func (d Design) TotalSats() int { return d.shellCount() * d.Planes * d.SatsPerPlane }
+
+// SuDCs returns the SµDC count: Split per plane per shell for cluster
+// designs, the shared GEO star size otherwise.
 func (d Design) SuDCs() int {
 	if d.GEO {
 		return d.GEOSinks
 	}
-	return d.Planes * d.Split
+	return d.shellCount() * d.Planes * d.Split
 }
 
 // ISLTerminals returns the terminal count across the constellation: two
 // span terminals per EO satellite plus K receivers per SµDC for cluster
-// fabrics; one uplink per satellite plus one receiver per uplink for GEO
+// fabrics (both per shell), plus two terminals per inter-shell cross-link
+// pair; one uplink per satellite plus one receiver per uplink for GEO
 // stars.
 func (d Design) ISLTerminals() int {
 	if d.GEO {
 		return 2 * d.TotalSats()
 	}
-	return 2*d.TotalSats() + d.K*d.SuDCs()
+	return 2*d.TotalSats() + d.K*d.SuDCs() + 2*d.crossLinkPairs()
 }
 
 // Breakdown itemizes one design's cost.
@@ -296,6 +345,10 @@ func (m CostModel) launchRate(altKm float64) float64 {
 	return float64(m.LaunchPerKg) * factor
 }
 
+// LaunchRatePerKg exposes the altitude-surcharged $/kg rate so property
+// tests (and reports) can reconstruct per-shell launch pricing exactly.
+func (m CostModel) LaunchRatePerKg(altKm float64) float64 { return m.launchRate(altKm) }
+
 // Cost prices a design. It validates both inputs and guarantees a finite,
 // strictly positive breakdown on success — degenerate designs cannot
 // score an infinite goodput-per-dollar by costing nothing.
@@ -305,6 +358,9 @@ func Cost(m CostModel, d Design) (Breakdown, error) {
 	}
 	if err := d.Validate(); err != nil {
 		return Breakdown{}, err
+	}
+	if d.shellCount() > 1 {
+		return costMultiShell(m, d)
 	}
 	factor, err := RecoveryDeviceFactor(d.Recovery)
 	if err != nil {
@@ -369,6 +425,69 @@ func Cost(m CostModel, d Design) (Breakdown, error) {
 	}
 	if b.TotalCost <= 0 || b.PerHour <= 0 {
 		return Breakdown{}, fmt.Errorf("econ: non-positive cost %v for design %+v", b.TotalCost, d)
+	}
+	return b, nil
+}
+
+// costMultiShell prices a Shells-deep stack as the exact sum of its
+// shells — each priced through the unchanged single-shell path at its own
+// altitude (base + i·ShellSpacingKm, so higher shells pay the launch
+// surcharge) — plus the inter-shell cross-link terminals: one pair per
+// satellite per plane per adjacent shell pair, each end launched at its
+// own shell's rate. Summing the single-shell breakdowns field by field
+// (rather than scaling one) keeps "a 2-shell design costs exactly the sum
+// of its shells plus cross terminals" an identity, not an approximation —
+// the property the econ test suite pins.
+func costMultiShell(m CostModel, d Design) (Breakdown, error) {
+	var b Breakdown
+	var launch, hardware float64
+	shells := d.shellCount()
+	for i := 0; i < shells; i++ {
+		sd := d
+		sd.Shells = 0
+		sd.InterShell = ""
+		sd.AltitudeKm = d.AltitudeKm + float64(i)*ShellSpacingKm
+		sb, err := Cost(m, sd)
+		if err != nil {
+			return Breakdown{}, fmt.Errorf("econ: shell %d: %w", i, err)
+		}
+		b.EOSats += sb.EOSats
+		b.SuDCs += sb.SuDCs
+		b.ISLTerminals += sb.ISLTerminals
+		b.EffectiveDevices += sb.EffectiveDevices
+		b.PowerW += sb.PowerW
+		b.WetMassKg += sb.WetMassKg
+		launch += float64(sb.LaunchCost)
+		hardware += float64(sb.HardwareCost)
+	}
+
+	// Cross-link terminals: pairsPerGap pairs between each adjacent shell
+	// pair, the lower terminal launched at shell i's rate and the upper at
+	// shell i+1's.
+	pairsPerGap := d.Planes * d.SatsPerPlane
+	var crossLaunch, crossHardware, crossMass float64
+	for i := 0; i+1 < shells; i++ {
+		loRate := m.launchRate(d.AltitudeKm + float64(i)*ShellSpacingKm)
+		hiRate := m.launchRate(d.AltitudeKm + float64(i+1)*ShellSpacingKm)
+		crossLaunch += float64(pairsPerGap) * m.ISLTerminalMassKg * (loRate + hiRate)
+		crossHardware += float64(2*pairsPerGap) * float64(m.ISLTerminalCost)
+		crossMass += float64(2*pairsPerGap) * m.ISLTerminalMassKg
+	}
+	b.ISLTerminals += 2 * (shells - 1) * pairsPerGap
+	b.WetMassKg += crossMass
+	launch += crossLaunch
+	hardware += crossHardware
+
+	b.LaunchCost = units.Money(launch)
+	b.HardwareCost = units.Money(hardware)
+	b.TotalCost = units.Money(launch + hardware)
+	b.PerHour = units.Money(float64(b.TotalCost) / (m.AmortizationYears * 8760))
+
+	for _, v := range []float64{b.WetMassKg, b.PowerW, float64(b.LaunchCost),
+		float64(b.HardwareCost), float64(b.TotalCost), float64(b.PerHour)} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return Breakdown{}, fmt.Errorf("econ: cost overflow for design %+v", d)
+		}
 	}
 	return b, nil
 }

@@ -189,3 +189,104 @@ func TestCostOverflowErrors(t *testing.T) {
 		t.Error("overflowing model priced without error")
 	}
 }
+
+// TestMultiShellCostStrictlyIncreasing asserts $/h grows strictly with
+// every shell added to a stack: each shell is a full copy of the design
+// at a higher (surcharged) altitude, so the stack can never get cheaper.
+func TestMultiShellCostStrictlyIncreasing(t *testing.T) {
+	m := DefaultCostModel()
+	d := baseDesign()
+	d.InterShell = InterShellAligned
+	prev := mustCost(t, m, d).PerHour
+	for shells := 2; shells <= 5; shells++ {
+		d.Shells = shells
+		cur := mustCost(t, m, d).PerHour
+		if cur <= prev {
+			t.Errorf("PerHour %v at %d shells ≤ %v at %d — not strictly increasing",
+				cur, shells, prev, shells-1)
+		}
+		prev = cur
+	}
+}
+
+// TestMultiShellCostMonotoneInAltitude asserts a stack's $/h is monotone
+// non-decreasing in the base altitude: every shell (and both ends of every
+// cross link) launches at a rate that only grows with altitude.
+func TestMultiShellCostMonotoneInAltitude(t *testing.T) {
+	m := DefaultCostModel()
+	d := baseDesign()
+	d.Shells = 3
+	d.InterShell = InterShellNearest
+	prev := units.Money(0)
+	for _, alt := range []float64{350, 550, 800, 1200, 2000} {
+		d.AltitudeKm = alt
+		cur := mustCost(t, m, d).PerHour
+		if cur < prev {
+			t.Errorf("PerHour %v at base altitude %v km < %v at the lower base — not monotone", cur, alt, prev)
+		}
+		prev = cur
+	}
+}
+
+// TestTwoShellCostIsExactSum pins the multi-shell pricing identity: a
+// 2-shell design's launch and hardware costs equal — to the last bit, not
+// within a tolerance — the two single-shell designs at their respective
+// altitudes plus the cross-link terminal terms reconstructed from
+// LaunchRatePerKg. The implementation accumulates in exactly this
+// left-associated order, so any drift is a real model change.
+func TestTwoShellCostIsExactSum(t *testing.T) {
+	m := DefaultCostModel()
+	d := baseDesign()
+	d.Shells = 2
+	d.InterShell = InterShellAligned
+	got := mustCost(t, m, d)
+
+	lo := d
+	lo.Shells = 0
+	lo.InterShell = ""
+	hi := lo
+	hi.AltitudeKm = d.AltitudeKm + ShellSpacingKm
+	bLo := mustCost(t, m, lo)
+	bHi := mustCost(t, m, hi)
+
+	pairs := d.Planes * d.SatsPerPlane
+	crossLaunch := float64(pairs) * m.ISLTerminalMassKg *
+		(m.LaunchRatePerKg(lo.AltitudeKm) + m.LaunchRatePerKg(hi.AltitudeKm))
+	crossHardware := float64(2*pairs) * float64(m.ISLTerminalCost)
+
+	if want := units.Money(float64(bLo.LaunchCost) + float64(bHi.LaunchCost) + crossLaunch); got.LaunchCost != want {
+		t.Errorf("LaunchCost = %v, want exact sum %v (Δ %v)", got.LaunchCost, want, got.LaunchCost-want)
+	}
+	if want := units.Money(float64(bLo.HardwareCost) + float64(bHi.HardwareCost) + crossHardware); got.HardwareCost != want {
+		t.Errorf("HardwareCost = %v, want exact sum %v (Δ %v)", got.HardwareCost, want, got.HardwareCost-want)
+	}
+	if want := bLo.EOSats + bHi.EOSats; got.EOSats != want {
+		t.Errorf("EOSats = %d, want %d", got.EOSats, want)
+	}
+	if want := bLo.SuDCs + bHi.SuDCs; got.SuDCs != want {
+		t.Errorf("SuDCs = %d, want %d", got.SuDCs, want)
+	}
+	if want := bLo.ISLTerminals + bHi.ISLTerminals + 2*pairs; got.ISLTerminals != want {
+		t.Errorf("ISLTerminals = %d, want %d (shells plus one cross pair per satellite)", got.ISLTerminals, want)
+	}
+	if want := bLo.WetMassKg + bHi.WetMassKg + float64(2*pairs)*m.ISLTerminalMassKg; got.WetMassKg != want {
+		t.Errorf("WetMassKg = %v, want exact sum %v", got.WetMassKg, want)
+	}
+}
+
+// TestMultiShellRejectsInvalid covers the multi-shell validation seams:
+// GEO stacks, negative shell counts, and unknown inter-shell rules.
+func TestMultiShellRejectsInvalid(t *testing.T) {
+	m := DefaultCostModel()
+	bad := []Design{
+		func() Design { d := baseDesign(); d.Shells = -1; return d }(),
+		func() Design { d := baseDesign(); d.Shells = 2; d.InterShell = "diagonal"; return d }(),
+		{Planes: 2, SatsPerPlane: 8, AltitudeKm: 550, GEO: true, GEOSinks: 2,
+			DevicesPerSuDC: 4, Recovery: RecoveryNone, Shells: 2},
+	}
+	for _, d := range bad {
+		if _, err := Cost(m, d); err == nil {
+			t.Errorf("Cost accepted invalid multi-shell design %+v", d)
+		}
+	}
+}

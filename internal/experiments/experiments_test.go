@@ -16,7 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ext-saa", "ext-lifetime", "ext-thermal", "ext-power",
 		"ext-disagg", "ext-sched", "ext-revisit", "ext-fleet", "ext-latency",
 		"ext-lossy", "ext-detect", "ext-netsim", "ext-resilience",
-		"ext-workload", "ext-optimize",
+		"ext-workload", "ext-optimize", "ext-multishell",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {

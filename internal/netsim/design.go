@@ -90,7 +90,8 @@ func DesignTopology(planes, satsPerPlane int, altKm float64, k, split, geoSinks 
 	if split < 1 {
 		return TopologySpec{}, designErrf("split", "need ≥ 1 SµDC per plane, got %d", split)
 	}
-	if satsPerPlane < k*split {
+	// Division form: k·split can overflow for adversarial values.
+	if split > satsPerPlane/k {
 		return TopologySpec{}, designErrf("sats-per-plane",
 			"%d satellites cannot populate %d sinks × %d receivers", satsPerPlane, split, k)
 	}
@@ -101,4 +102,89 @@ func DesignTopology(planes, satsPerPlane int, altKm float64, k, split, geoSinks 
 		Tech:     tech,
 		LowAltKm: altKm,
 	}, nil
+}
+
+// ShellParams is one shell of a multi-shell candidate design, in the
+// vocabulary the optimizer mutates: per-plane satellite population, shell
+// altitude, and the intra-shell ISL budget.
+type ShellParams struct {
+	SatsPerPlane int
+	AltKm        float64
+	K            int
+	Split        int
+}
+
+// DesignShells builds the per-plane multi-shell TopologySpec for a
+// candidate shell stack, applying DesignTopology's cluster checks to every
+// shell plus the stack-level bounds (cumulative node ceiling, cross-link
+// budget within the smaller shell). Like DesignTopology it REJECTS
+// degenerate stacks with a typed *DesignError — never a panic and never a
+// spec whose Validate would fail — which the fuzz suite pins down against
+// adversarial counts and non-finite altitudes. All shells share the inter
+// rule and crossLinks budget (0 = one pair per satellite of the smaller
+// shell of each adjacent pair).
+func DesignShells(shells []ShellParams, inter InterShellKind, crossLinks int, tech isl.LinkTech) (TopologySpec, error) {
+	if len(shells) < 1 {
+		return TopologySpec{}, designErrf("shells", "need ≥ 1 shell, got %d", len(shells))
+	}
+	if tech.Capacity <= 0 {
+		return TopologySpec{}, designErrf("link-tech", "non-positive capacity %v", tech.Capacity)
+	}
+	if inter != InterShellAligned && inter != InterShellNearest {
+		return TopologySpec{}, designErrf("inter-shell", "unknown rule kind %d", int(inter))
+	}
+	if crossLinks < 0 {
+		return TopologySpec{}, designErrf("cross-links", "need ≥ 0, got %d", crossLinks)
+	}
+	ts := TopologySpec{Kind: ClusterTopology, Tech: tech}
+	totalNodes := 0
+	for i, sh := range shells {
+		field := fmt.Sprintf("shell[%d]", i)
+		if sh.SatsPerPlane < 1 {
+			return TopologySpec{}, designErrf(field+".sats-per-plane", "need ≥ 1, got %d", sh.SatsPerPlane)
+		}
+		// Per-shell cap before accumulating, so adversarial counts near
+		// MaxInt cannot overflow the running total below.
+		if sh.SatsPerPlane > MaxDesignNodes {
+			return TopologySpec{}, designErrf(field+".sats-per-plane",
+				"%d exceeds the %d-node design ceiling", sh.SatsPerPlane, MaxDesignNodes)
+		}
+		if !(sh.AltKm > 0) || sh.AltKm > 100e3 {
+			return TopologySpec{}, designErrf(field+".altitude", "need 0 < alt ≤ 100000 km, got %v", sh.AltKm)
+		}
+		if sh.K < 2 || sh.K%2 != 0 {
+			return TopologySpec{}, designErrf(field+".isl-budget",
+				"cluster fabric needs an even receiver fan-in K ≥ 2, got %d", sh.K)
+		}
+		if sh.Split < 1 {
+			return TopologySpec{}, designErrf(field+".split", "need ≥ 1 SµDC per plane, got %d", sh.Split)
+		}
+		if sh.Split > sh.SatsPerPlane/sh.K {
+			return TopologySpec{}, designErrf(field+".sats-per-plane",
+				"%d satellites cannot populate %d sinks × %d receivers", sh.SatsPerPlane, sh.Split, sh.K)
+		}
+		totalNodes += sh.SatsPerPlane + sh.Split
+		if totalNodes > MaxDesignNodes {
+			return TopologySpec{}, designErrf("shells",
+				"stack exceeds the %d-node design ceiling at shell %d", MaxDesignNodes, i)
+		}
+		ts.Shells = append(ts.Shells, ShellSpec{
+			Sats:    sh.SatsPerPlane,
+			Cluster: isl.Topology{K: sh.K, Split: sh.Split},
+			AltKm:   sh.AltKm,
+		})
+	}
+	for i := 0; i+1 < len(shells); i++ {
+		minSats := shells[i].SatsPerPlane
+		if shells[i+1].SatsPerPlane < minSats {
+			minSats = shells[i+1].SatsPerPlane
+		}
+		if crossLinks > minSats {
+			return TopologySpec{}, designErrf("cross-links",
+				"budget %d exceeds the %d satellites of the smaller shell in pair %d–%d",
+				crossLinks, minSats, i, i+1)
+		}
+		ts.InterShell = append(ts.InterShell, InterShellRule{Kind: inter, CrossLinks: crossLinks})
+	}
+	return ts, nil
 }

@@ -77,10 +77,13 @@ type faultState struct {
 	cfg     FaultConfig
 	rng     *rand.Rand
 	optical bool
-	// eclipse sweep geometry: the fraction of the plane in shadow and the
-	// period of one sweep. eclipseFrac == 0 disables the sweep.
-	eclipseFrac float64
-	periodSec   float64
+	// eclipse sweep geometry, indexed by shell: the fraction of each
+	// shell's plane in shadow and the period of one sweep. Single-shell
+	// specs get one entry. anyEclipse is false when every fraction is 0,
+	// disabling the sweep.
+	eclipseFrac []float64
+	periodSec   []float64
+	anyEclipse  bool
 	// nextEclipse is the earliest time any node can cross the shadow-arc
 	// boundary, derived in closed form from the sweep geometry on every
 	// scan. updateEclipse skips its O(nodes) phase scan entirely until
@@ -166,7 +169,14 @@ func (h *flipHeap) popDue(now float64, due []int) []int {
 func newFaultState(cfg FaultConfig, ts TopologySpec, g *Graph, rng *rand.Rand) *faultState {
 	fs := &faultState{cfg: cfg, rng: rng, optical: ts.Tech.Optical}
 	if cfg.EclipseOutage {
-		fs.eclipseFrac, fs.periodSec = ts.eclipseFraction()
+		for _, alt := range ts.shellAltsKm() {
+			frac, period := eclipseFractionAt(alt)
+			fs.eclipseFrac = append(fs.eclipseFrac, frac)
+			fs.periodSec = append(fs.periodSec, period)
+			if frac > 0 {
+				fs.anyEclipse = true
+			}
+		}
 	}
 	fs.seed(0, g)
 	return fs
@@ -256,18 +266,20 @@ func (fs *faultState) update(t float64, g *Graph, measure, eclipseOutage bool) b
 			fs.nodeClock.push(flipEntry{t: n.nextFlip, id: s})
 		}
 	}
-	if fs.eclipseFrac > 0 && fs.optical {
+	if fs.anyEclipse && fs.optical {
 		changed = fs.updateEclipse(t, g, eclipseOutage) || changed
 	}
 	return changed
 }
 
 // updateEclipse moves the shadow arc: satellite p is eclipsed while its
-// orbital phase frac(t/P + posFrac) lies inside [0, eclipseFrac). Each
-// scan also computes, per node, the time of its next boundary crossing
-// (entry at phase 1→0, exit at phase eclipseFrac) and records the minimum,
-// so the steps between crossings — the overwhelming majority at a 0.1 s
-// resolution against a ~95-minute sweep — skip the scan in O(1).
+// orbital phase frac(t/P + posFrac) lies inside [0, eclipseFrac), with P
+// and the fraction taken from the node's own shell — each shell's arc
+// sweeps at its own orbital rate. Each scan also computes, per node, the
+// time of its next boundary crossing (entry at phase 1→0, exit at phase
+// eclipseFrac) and records the minimum, so the steps between crossings —
+// the overwhelming majority at a 0.1 s resolution against a ~95-minute
+// sweep — skip the scan in O(1).
 func (fs *faultState) updateEclipse(t float64, g *Graph, eclipseOutage bool) bool {
 	if t < fs.nextEclipse {
 		return false
@@ -276,11 +288,15 @@ func (fs *faultState) updateEclipse(t float64, g *Graph, eclipseOutage bool) boo
 	next := math.Inf(1)
 	for i := range g.nodes {
 		n := &g.nodes[i]
-		if n.geo {
+		if n.geo || n.shell >= len(fs.eclipseFrac) {
 			continue
 		}
-		phase := math.Mod(t/fs.periodSec+n.posFrac, 1)
-		ecl := phase < fs.eclipseFrac
+		frac, period := fs.eclipseFrac[n.shell], fs.periodSec[n.shell]
+		if frac <= 0 {
+			continue
+		}
+		phase := math.Mod(t/period+n.posFrac, 1)
+		ecl := phase < frac
 		if ecl != n.eclipsed {
 			g.noteNode(i, eclipseOutage)
 			n.eclipsed = ecl
@@ -289,9 +305,9 @@ func (fs *faultState) updateEclipse(t float64, g *Graph, eclipseOutage bool) boo
 		}
 		boundary := 1.0
 		if ecl {
-			boundary = fs.eclipseFrac
+			boundary = frac
 		}
-		if flip := t + (boundary-phase)*fs.periodSec; flip < next {
+		if flip := t + (boundary-phase)*period; flip < next {
 			next = flip
 		}
 	}

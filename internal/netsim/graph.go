@@ -17,6 +17,9 @@ type node struct {
 	posFrac float64
 	// geo marks GEO sinks, which the LEO eclipse sweep never shadows.
 	geo bool
+	// shell indexes the node's shell in a multi-shell stack (0 in
+	// single-shell graphs), selecting its eclipse geometry.
+	shell int
 	// nextFlip is the sampled time of the next up/down transition;
 	// +Inf when no failure process is attached.
 	nextFlip float64
@@ -64,6 +67,9 @@ type Graph struct {
 	// Sinks are SµDC node IDs; Sources are EO satellite node IDs.
 	Sinks   []int
 	Sources []int
+	// crossShell counts directed links whose endpoints sit in different
+	// shells; zero for single-shell graphs.
+	crossShell int
 	// next is the routing table: per node, the outgoing link ID on a
 	// shortest path toward the nearest reachable sink, or -1. The choice
 	// among equal-length paths is canonical — the lowest-numbered eligible
@@ -150,6 +156,10 @@ func (g *Graph) usable(l *Link, eclipseOutage bool) bool {
 	}
 	return true
 }
+
+// CrossShellLinks reports the number of directed inter-shell links in the
+// graph; zero for single-shell topologies.
+func (g *Graph) CrossShellLinks() int { return g.crossShell }
 
 // isSink reports whether node id is a SµDC.
 func (g *Graph) isSink(id int) bool {

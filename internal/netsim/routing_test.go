@@ -25,6 +25,24 @@ func TestIncrementalRoutingMatchesFullBFS(t *testing.T) {
 		{"ring", TopologySpec{Kind: ClusterTopology, Sats: 9, Cluster: isl.Ring, Tech: isl.RFKaBand, QueueSec: 1}, false},
 		{"klist-split", TopologySpec{Kind: ClusterTopology, Sats: 24, Cluster: isl.Topology{K: 4, Split: 2}, Tech: isl.Optical10G, QueueSec: 1}, true},
 		{"geo-star", TopologySpec{Kind: GEOStarTopology, Sats: 12, GEOSinks: 3, Tech: isl.Optical10G, QueueSec: 1}, true},
+		{"2shell", TopologySpec{Kind: ClusterTopology, Tech: isl.Optical10G, QueueSec: 1,
+			Shells: []ShellSpec{
+				{Sats: 9, Cluster: isl.Ring, AltKm: 550},
+				{Sats: 6, Cluster: isl.Ring, AltKm: 800},
+			},
+			InterShell: []InterShellRule{{Kind: InterShellAligned}},
+		}, true},
+		{"3shell", TopologySpec{Kind: ClusterTopology, Tech: isl.Optical10G, QueueSec: 1,
+			Shells: []ShellSpec{
+				{Sats: 12, Cluster: isl.Topology{K: 4, Split: 2}, AltKm: 550},
+				{Sats: 9, Cluster: isl.Ring, AltKm: 800},
+				{Sats: 6, Cluster: isl.Ring, AltKm: 1100},
+			},
+			InterShell: []InterShellRule{
+				{Kind: InterShellNearest},
+				{Kind: InterShellAligned, CrossLinks: 3},
+			},
+		}, true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -37,9 +55,25 @@ func TestIncrementalRoutingMatchesFullBFS(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			// Inter-shell link IDs, stable across same-spec rebuilds; the
+			// multi-shell cases get a dedicated mutation branch so the repair
+			// path is exercised across shell boundaries, not just within one.
+			var crossIDs []int
+			for _, l := range g.Links {
+				if g.nodes[l.From].shell != g.nodes[l.To].shell {
+					crossIDs = append(crossIDs, l.ID)
+				}
+			}
+			if len(tc.spec.Shells) > 1 && len(crossIDs) == 0 {
+				t.Fatal("multi-shell spec built no inter-shell links")
+			}
+			mutations := 3
+			if len(crossIDs) > 0 {
+				mutations = 4
+			}
 			g.recomputeRoutes(tc.eo)
 			shadow.recomputeRoutes(tc.eo)
-			repaired := 0
+			repaired, crossFlips := 0, 0
 			for batch := 0; batch < 400; batch++ {
 				// Occasional epoch rebuild: the incremental side must carry
 				// its state into a fresh graph and keep repairing correctly
@@ -54,7 +88,7 @@ func TestIncrementalRoutingMatchesFullBFS(t *testing.T) {
 					g.recomputeRoutes(tc.eo)
 				}
 				for m := 1 + rng.Intn(3); m > 0; m-- {
-					switch rng.Intn(3) {
+					switch rng.Intn(mutations) {
 					case 0: // link pointing loss / reacquisition
 						li := rng.Intn(len(g.Links))
 						g.noteLink(li, tc.eo)
@@ -65,7 +99,7 @@ func TestIncrementalRoutingMatchesFullBFS(t *testing.T) {
 						g.noteNode(s, tc.eo)
 						g.nodes[s].Up = !g.nodes[s].Up
 						shadow.nodes[s].Up = g.nodes[s].Up
-					default: // eclipse sweep transition (never on GEO nodes)
+					case 2: // eclipse sweep transition (never on GEO nodes)
 						i := rng.Intn(len(g.nodes))
 						if g.nodes[i].geo {
 							i = g.Sources[0]
@@ -73,6 +107,12 @@ func TestIncrementalRoutingMatchesFullBFS(t *testing.T) {
 						g.noteNode(i, tc.eo)
 						g.nodes[i].eclipsed = !g.nodes[i].eclipsed
 						shadow.nodes[i].eclipsed = g.nodes[i].eclipsed
+					default: // inter-shell link downed/restored
+						li := crossIDs[rng.Intn(len(crossIDs))]
+						g.noteLink(li, tc.eo)
+						g.Links[li].Up = !g.Links[li].Up
+						shadow.Links[li].Up = g.Links[li].Up
+						crossFlips++
 					}
 				}
 				if g.repairRoutes(tc.eo) {
@@ -88,6 +128,9 @@ func TestIncrementalRoutingMatchesFullBFS(t *testing.T) {
 			}
 			if repaired == 0 {
 				t.Fatal("no batch produced a net usability change; the repair path went unexercised")
+			}
+			if len(crossIDs) > 0 && crossFlips == 0 {
+				t.Fatal("no inter-shell link was ever downed/restored; the cross-shell repair path went unexercised")
 			}
 		})
 	}

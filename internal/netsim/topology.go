@@ -23,6 +23,60 @@ const (
 	GEOStarTopology
 )
 
+// ShellSpec is one shell of a multi-shell constellation: its own simulated
+// plane population, intra-shell cluster fabric (K = 2 is the ring, larger
+// even K the k-lists, Split the SµDC splitting), and altitude — which
+// fixes the shell's link geometry, orbital period, and eclipse fraction.
+type ShellSpec struct {
+	// Sats is the shell's EO satellite count (flow sources).
+	Sats int
+	// Cluster gives the shell's intra-shell ISL budget: K and Split.
+	Cluster isl.Topology
+	// AltKm is the shell altitude in km.
+	AltKm float64
+}
+
+// InterShellKind selects the cross-link rule between two adjacent shells.
+type InterShellKind int
+
+// Inter-shell link rules.
+const (
+	// InterShellAligned cross-links satellites by scaled index: satellite
+	// i of the lower shell pairs with satellite i·N_hi/N_lo of the upper
+	// one, so the pattern is fixed regardless of phasing.
+	InterShellAligned InterShellKind = iota
+	// InterShellNearest cross-links each selected lower-shell satellite to
+	// the upper-shell satellite whose ascending-node phase (angular
+	// position around the plane) is nearest, ties to the lower index.
+	InterShellNearest
+)
+
+// String names the rule for reports.
+func (k InterShellKind) String() string {
+	switch k {
+	case InterShellAligned:
+		return "aligned"
+	case InterShellNearest:
+		return "nearest"
+	}
+	return fmt.Sprintf("inter-shell-kind-%d", int(k))
+}
+
+// InterShellRule wires one adjacent shell pair.
+type InterShellRule struct {
+	Kind InterShellKind
+	// CrossLinks caps the number of cross-linked satellite pairs between
+	// the two shells (the pair's ISL terminal budget). Zero means one pair
+	// per satellite of the smaller shell.
+	CrossLinks int
+}
+
+// interShellRefKm anchors the cross-link capacity derate: a cross-link's
+// capacity is Tech.Capacity · ref/(ref+range), so longer inter-shell hops
+// (free-space loss, coarser pointing) carry proportionally less than the
+// in-plane fabric. Its latency is range/c.
+const interShellRefKm = 500.0
+
 // TopologySpec describes the network the time-stepped driver rebuilds at
 // every epoch.
 type TopologySpec struct {
@@ -46,25 +100,41 @@ type TopologySpec struct {
 	LowAltKm float64
 	// QueueSec sizes each link's FIFO queue in seconds of link capacity.
 	QueueSec float64
+
+	// Shells, when non-empty, replaces the single-shell fields above with
+	// a multi-shell stack: one cluster fabric per shell (each at its own
+	// altitude, with its own eclipse geometry and orbital period) wired
+	// into one graph by the InterShell cross-link rules. Kind must be
+	// ClusterTopology (the zero value) and Sats/GEOSinks must be zero; the
+	// per-shell geometry is always orbit-spaced at the shell's altitude.
+	Shells []ShellSpec
+	// InterShell wires each adjacent shell pair; its length must be
+	// len(Shells)-1. Cross-link latency and capacity derive from the
+	// altitude gap between the two shells.
+	InterShell []InterShellRule
 }
 
 // Validate checks the spec.
 func (ts TopologySpec) Validate() error {
-	if ts.Sats <= 0 {
-		return fmt.Errorf("netsim: non-positive satellite count %d", ts.Sats)
-	}
 	if ts.Tech.Capacity <= 0 {
 		return fmt.Errorf("netsim: non-positive link capacity %v", ts.Tech.Capacity)
 	}
 	if ts.QueueSec < 0 {
 		return fmt.Errorf("netsim: negative queue depth %v s", ts.QueueSec)
 	}
+	if len(ts.Shells) > 0 {
+		return ts.validateShells()
+	}
+	if ts.Sats <= 0 {
+		return fmt.Errorf("netsim: non-positive satellite count %d", ts.Sats)
+	}
 	switch ts.Kind {
 	case ClusterTopology:
 		if err := ts.Cluster.Validate(); err != nil {
 			return err
 		}
-		if ts.Sats < ts.Cluster.K*ts.Cluster.Split {
+		// Division form: K·Split can overflow for adversarial values.
+		if ts.Cluster.Split > ts.Sats/ts.Cluster.K {
 			return fmt.Errorf("netsim: %d sats cannot populate %d sinks × %d receivers",
 				ts.Sats, ts.Cluster.Split, ts.Cluster.K)
 		}
@@ -76,6 +146,65 @@ func (ts TopologySpec) Validate() error {
 		return fmt.Errorf("netsim: unknown topology kind %d", ts.Kind)
 	}
 	return nil
+}
+
+// validateShells checks the multi-shell stack: every shell must be a
+// well-formed cluster, the rule list must cover exactly the adjacent
+// pairs, and the single-shell fields must stay unset so a spec is
+// unambiguously one or the other.
+func (ts TopologySpec) validateShells() error {
+	if ts.Kind != ClusterTopology {
+		return fmt.Errorf("netsim: multi-shell stacks are cluster-kind; kind %d cannot carry shells", ts.Kind)
+	}
+	if ts.Sats != 0 || ts.GEOSinks != 0 {
+		return fmt.Errorf("netsim: spec sets both Shells and single-shell fields (sats=%d, geoSinks=%d)", ts.Sats, ts.GEOSinks)
+	}
+	if len(ts.InterShell) != len(ts.Shells)-1 {
+		return fmt.Errorf("netsim: %d shells need %d inter-shell rules, got %d",
+			len(ts.Shells), len(ts.Shells)-1, len(ts.InterShell))
+	}
+	for i, sh := range ts.Shells {
+		if sh.Sats <= 0 {
+			return fmt.Errorf("netsim: shell %d: non-positive satellite count %d", i, sh.Sats)
+		}
+		if err := sh.Cluster.Validate(); err != nil {
+			return fmt.Errorf("netsim: shell %d: %w", i, err)
+		}
+		if sh.Cluster.Split > sh.Sats/sh.Cluster.K {
+			return fmt.Errorf("netsim: shell %d: %d sats cannot populate %d sinks × %d receivers",
+				i, sh.Sats, sh.Cluster.Split, sh.Cluster.K)
+		}
+		if !(sh.AltKm > 0) || sh.AltKm > 100e3 {
+			return fmt.Errorf("netsim: shell %d: altitude must satisfy 0 < alt ≤ 100000 km, got %v", i, sh.AltKm)
+		}
+	}
+	for i, rule := range ts.InterShell {
+		if rule.Kind != InterShellAligned && rule.Kind != InterShellNearest {
+			return fmt.Errorf("netsim: inter-shell rule %d: unknown kind %d", i, int(rule.Kind))
+		}
+		maxPairs := ts.Shells[i].Sats
+		if ts.Shells[i+1].Sats < maxPairs {
+			maxPairs = ts.Shells[i+1].Sats
+		}
+		if rule.CrossLinks < 0 || rule.CrossLinks > maxPairs {
+			return fmt.Errorf("netsim: inter-shell rule %d: cross-link budget %d outside [0, %d]",
+				i, rule.CrossLinks, maxPairs)
+		}
+	}
+	return nil
+}
+
+// TotalSats returns the satellite population across the whole spec: the
+// per-shell sum for multi-shell stacks, the flat count otherwise.
+func (ts TopologySpec) TotalSats() int {
+	if len(ts.Shells) == 0 {
+		return ts.Sats
+	}
+	total := 0
+	for _, sh := range ts.Shells {
+		total += sh.Sats
+	}
+	return total
 }
 
 // lowAlt returns the EO altitude with the default applied.
@@ -103,6 +232,9 @@ func BuildGraph(ts TopologySpec) (*Graph, error) {
 	if err := ts.Validate(); err != nil {
 		return nil, err
 	}
+	if len(ts.Shells) > 0 {
+		return buildMultiShell(ts), nil
+	}
 	switch ts.Kind {
 	case GEOStarTopology:
 		return buildGEOStar(ts), nil
@@ -122,30 +254,44 @@ func BuildGraph(ts TopologySpec) (*Graph, error) {
 func buildCluster(ts TopologySpec) *Graph {
 	total := ts.Sats + ts.Cluster.Split
 	g := newGraph(total)
-	geom := ts.geometry(total)
 	cap := float64(ts.Tech.Capacity)
-	queueBits := ts.QueueSec * cap
+	layCluster(g, 0, 0, ts.Sats, ts.Cluster, ts.geometry(total), cap, ts.QueueSec*cap)
+	return g
+}
+
+// layCluster lays one cluster plane — sats satellites plus cl.Split sinks —
+// into g starting at node offset, tagging every node with the shell index.
+// Node and link creation order is identical to what the single-shell
+// builder always produced, so a one-shell graph is bit-identical to the
+// legacy path and multi-shell graphs get deterministic IDs per shell. It
+// returns the global IDs of the shell's satellites (its sources), in
+// plane order, for the cross-link pass.
+func layCluster(g *Graph, offset, shellIdx, sats int, cl isl.Topology, geom isl.PlaneGeometry, capBps, queueBits float64) []int {
+	total := sats + cl.Split
 
 	// Sink positions, evenly spaced around the plane.
 	isSink := make([]bool, total)
-	for s := 0; s < ts.Cluster.Split; s++ {
-		p := s * total / ts.Cluster.Split
+	for s := 0; s < cl.Split; s++ {
+		p := s * total / cl.Split
 		isSink[p] = true
-		g.Sinks = append(g.Sinks, p)
+		g.Sinks = append(g.Sinks, offset+p)
 	}
+	var shellSources []int
 	for p := 0; p < total; p++ {
-		g.nodes[p].posFrac = float64(p) / float64(total)
+		g.nodes[offset+p].posFrac = float64(p) / float64(total)
+		g.nodes[offset+p].shell = shellIdx
 		if !isSink[p] {
-			g.Sources = append(g.Sources, p)
+			g.Sources = append(g.Sources, offset+p)
+			shellSources = append(shellSources, offset+p)
 		}
 	}
 
-	span := ts.Cluster.K / 2
+	span := cl.K / 2
 	addPair := func(a, b, spanHops int) {
 		dist := geom.HopDistanceKm(2 * spanHops)
 		delay := dist / lightSpeedKmS
-		g.addLink(a, b, cap, delay, queueBits)
-		g.addLink(b, a, cap, delay, queueBits)
+		g.addLink(offset+a, offset+b, capBps, delay, queueBits)
+		g.addLink(offset+b, offset+a, capBps, delay, queueBits)
 	}
 	// Satellite↔satellite span links.
 	for p := 0; p < total; p++ {
@@ -157,16 +303,99 @@ func buildCluster(ts TopologySpec) *Graph {
 	}
 	// Sink receiver links: the K nearest satellites, spans 1…K/2 on each
 	// side (skipping positions occupied by other sinks in tiny configs).
-	for _, sink := range g.Sinks {
-		for s := 1; s <= span; s++ {
-			for _, q := range []int{(sink + s) % total, (sink - s + total) % total} {
+	for s := 0; s < cl.Split; s++ {
+		sink := s * total / cl.Split
+		for sp := 1; sp <= span; sp++ {
+			for _, q := range []int{(sink + sp) % total, (sink - sp + total) % total} {
 				if !isSink[q] {
-					addPair(sink, q, s)
+					addPair(sink, q, sp)
 				}
 			}
 		}
 	}
+	return shellSources
+}
+
+// buildMultiShell lays every shell's cluster fabric at consecutive node
+// offsets (shell 0 lowest, exactly the legacy layout per shell) and then
+// wires the inter-shell cross-links last, so intra-shell link IDs match a
+// stack of independent single-shell graphs and cross-links take the
+// highest IDs deterministically. Cross-link latency is the altitude gap
+// over c; capacity derates with the gap against interShellRefKm.
+func buildMultiShell(ts TopologySpec) *Graph {
+	total := 0
+	for _, sh := range ts.Shells {
+		total += sh.Sats + sh.Cluster.Split
+	}
+	g := newGraph(total)
+	cap := float64(ts.Tech.Capacity)
+
+	sources := make([][]int, len(ts.Shells))
+	offset := 0
+	for i, sh := range ts.Shells {
+		n := sh.Sats + sh.Cluster.Split
+		geom := isl.OrbitSpacedGeometry(sh.AltKm, n)
+		sources[i] = layCluster(g, offset, i, sh.Sats, sh.Cluster, geom, cap, ts.QueueSec*cap)
+		offset += n
+	}
+
+	for i, rule := range ts.InterShell {
+		lo, hi := sources[i], sources[i+1]
+		rangeKm := math.Abs(ts.Shells[i+1].AltKm - ts.Shells[i].AltKm)
+		delay := rangeKm / lightSpeedKmS
+		xcap := cap * interShellRefKm / (interShellRefKm + rangeKm)
+		queueBits := ts.QueueSec * xcap
+
+		n := rule.CrossLinks
+		if n == 0 || n > len(lo) {
+			n = len(lo)
+		}
+		if n > len(hi) {
+			n = len(hi)
+		}
+		for j := 0; j < n; j++ {
+			a := j * len(lo) / n // evenly spaced lower-shell satellites
+			var b int
+			switch rule.Kind {
+			case InterShellNearest:
+				b = nearestByPos(g, lo[a], hi)
+			default: // InterShellAligned
+				b = a * len(hi) / len(lo)
+			}
+			g.addLink(lo[a], hi[b], xcap, delay, queueBits)
+			g.addLink(hi[b], lo[a], xcap, delay, queueBits)
+		}
+	}
+	g.crossShell = countCrossShell(g)
 	return g
+}
+
+// nearestByPos returns the index into candidates of the node whose plane
+// phase is circularly closest to node from's, ties to the lowest index.
+func nearestByPos(g *Graph, from int, candidates []int) int {
+	best, bestDist := 0, math.Inf(1)
+	p := g.nodes[from].posFrac
+	for idx, c := range candidates {
+		d := math.Abs(g.nodes[c].posFrac - p)
+		if d > 0.5 {
+			d = 1 - d
+		}
+		if d < bestDist {
+			best, bestDist = idx, d
+		}
+	}
+	return best
+}
+
+// countCrossShell tallies links whose endpoints sit in different shells.
+func countCrossShell(g *Graph) int {
+	n := 0
+	for _, l := range g.Links {
+		if g.nodes[l.From].shell != g.nodes[l.To].shell {
+			n++
+		}
+	}
+	return n
 }
 
 // buildGEOStar wires every EO satellite straight to its assigned GEO sink.
@@ -197,12 +426,25 @@ func buildGEOStar(ts TopologySpec) *Graph {
 	return g
 }
 
-// eclipseFraction returns the fraction of the orbit each satellite spends
-// in Earth shadow at the spec's altitude, and the orbital period, for the
+// shellAltsKm returns one altitude per shell — the single spec altitude
+// for legacy specs — indexing the per-shell eclipse geometry.
+func (ts TopologySpec) shellAltsKm() []float64 {
+	if len(ts.Shells) == 0 {
+		return []float64{ts.lowAlt()}
+	}
+	alts := make([]float64, len(ts.Shells))
+	for i, sh := range ts.Shells {
+		alts[i] = sh.AltKm
+	}
+	return alts
+}
+
+// eclipseFractionAt returns the fraction of the orbit a satellite spends
+// in Earth shadow at the given altitude, and the orbital period, for the
 // fault layer's eclipse sweep. A mid-inclination plane near equinox is
 // representative of the paper's study constellation.
-func (ts TopologySpec) eclipseFraction() (frac float64, periodSec float64) {
-	el := orbit.CircularLEO(ts.lowAlt(), 0.9, 0, 0, eclipseEpoch)
+func eclipseFractionAt(altKm float64) (frac float64, periodSec float64) {
+	el := orbit.CircularLEO(altKm, 0.9, 0, 0, eclipseEpoch)
 	period := el.Period()
 	frac = orbit.EclipseFraction(el, eclipseEpoch, period, period/240)
 	return frac, period.Seconds()

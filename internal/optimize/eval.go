@@ -181,9 +181,19 @@ func policyFor(name string) (resilience.Policy, error) {
 
 // Key canonicalizes a design for caching and seeding: two equal designs
 // always share evaluation randomness, so scores are content-addressed.
+// Multi-shell designs append a suffix; single-shell keys are unchanged, so
+// pre-multi-shell caches and seeds still resolve.
 func Key(d econ.Design) string {
-	return fmt.Sprintf("p%d.s%d.a%g.k%d.x%d.geo%d.dev%d.%s",
+	k := fmt.Sprintf("p%d.s%d.a%g.k%d.x%d.geo%d.dev%d.%s",
 		d.Planes, d.SatsPerPlane, d.AltitudeKm, d.K, d.Split, d.GEOSinks, d.DevicesPerSuDC, d.Recovery)
+	if d.Shells > 1 {
+		inter := d.InterShell
+		if inter == "" {
+			inter = econ.InterShellAligned
+		}
+		k += fmt.Sprintf(".sh%d.%s", d.Shells, inter)
+	}
+	return k
 }
 
 // seedFor derives the evaluation seed from the design content.
@@ -193,13 +203,38 @@ func seedFor(d econ.Design) int64 {
 	return int64(h.Sum64() & 0x7fffffffffffffff)
 }
 
+// specFor builds the per-plane netsim topology for a design: the validated
+// single-shell construction for classic designs, or a shell stack — the
+// same cluster at every shell, altitudes stepped by econ.ShellSpacingKm to
+// mirror the cost model's stacking — wired by the design's inter-shell
+// rule with the default one-pair-per-satellite cross-link budget.
+func (ev *Evaluator) specFor(d econ.Design) (netsim.TopologySpec, error) {
+	if d.Shells <= 1 {
+		return netsim.DesignTopology(d.Planes, d.SatsPerPlane, d.AltitudeKm, d.K, d.Split, d.GEOSinks, ev.cfg.Tech)
+	}
+	shells := make([]netsim.ShellParams, d.Shells)
+	for i := range shells {
+		shells[i] = netsim.ShellParams{
+			SatsPerPlane: d.SatsPerPlane,
+			AltKm:        d.AltitudeKm + float64(i)*econ.ShellSpacingKm,
+			K:            d.K,
+			Split:        d.Split,
+		}
+	}
+	kind := netsim.InterShellAligned
+	if d.InterShell == econ.InterShellNearest {
+		kind = netsim.InterShellNearest
+	}
+	return netsim.DesignShells(shells, kind, 0, ev.cfg.Tech)
+}
+
 // structuralOK reports whether a design passes both validation layers
 // without running any simulation, for cheap proposal filtering.
 func (ev *Evaluator) structuralOK(d econ.Design) bool {
 	if d.Validate() != nil {
 		return false
 	}
-	_, err := netsim.DesignTopology(d.Planes, d.SatsPerPlane, d.AltitudeKm, d.K, d.Split, d.GEOSinks, ev.cfg.Tech)
+	_, err := ev.specFor(d)
 	return err == nil
 }
 
@@ -212,7 +247,7 @@ func (ev *Evaluator) Evaluate(d econ.Design) (Score, error) {
 	if err != nil {
 		return Score{Reason: err.Error()}, nil
 	}
-	spec, err := netsim.DesignTopology(d.Planes, d.SatsPerPlane, d.AltitudeKm, d.K, d.Split, d.GEOSinks, ev.cfg.Tech)
+	spec, err := ev.specFor(d)
 	if err != nil {
 		var de *netsim.DesignError
 		if errors.As(err, &de) {

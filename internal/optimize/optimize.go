@@ -63,6 +63,16 @@ type Space struct {
 	Topologies   []TopoChoice `json:"topologies"`
 	Devices      []int        `json:"devices"`
 	Recoveries   []string     `json:"recoveries"`
+
+	// ShellCounts is the optional shell-count axis (empty means {1}: the
+	// classic single-shell space). Counts > 1 stack the cluster design
+	// that many shells deep at econ.ShellSpacingKm intervals; GEO
+	// topologies never stack (the combination is filtered as invalid).
+	ShellCounts []int `json:"shell_counts,omitempty"`
+	// InterShells is the optional inter-shell topology axis
+	// (econ.InterShellAligned / econ.InterShellNearest; empty means
+	// {aligned}). It only matters for designs with > 1 shell.
+	InterShells []string `json:"inter_shells,omitempty"`
 }
 
 // DefaultSpace is the study space behind ext-optimize and the daemon's
@@ -85,22 +95,64 @@ func DefaultSpace() Space {
 	}
 }
 
-// Validate rejects spaces with empty axes.
+// Validate rejects spaces with empty axes or malformed shell axes.
 func (s Space) Validate() error {
 	if len(s.Planes) == 0 || len(s.SatsPerPlane) == 0 || len(s.AltitudesKm) == 0 ||
 		len(s.Topologies) == 0 || len(s.Devices) == 0 || len(s.Recoveries) == 0 {
 		return fmt.Errorf("optimize: space has an empty axis: %+v", s)
 	}
+	for _, n := range s.ShellCounts {
+		if n < 1 {
+			return fmt.Errorf("optimize: shell count %d < 1 in space", n)
+		}
+	}
+	for _, name := range s.InterShells {
+		if name != econ.InterShellAligned && name != econ.InterShellNearest {
+			return fmt.Errorf("optimize: unknown inter-shell rule %q in space", name)
+		}
+	}
 	return nil
 }
 
-// axes is the number of search axes in a design vector.
-const axes = 6
+// axes is the number of search axes in a design vector. The last two —
+// shell count and inter-shell topology — are optional; see activeAxes.
+const axes = 8
+
+// legacyAxes are the always-present axes of the original 6-axis space.
+const legacyAxes = 6
+
+// shellCounts returns the shell-count axis with its {1} default applied.
+func (s Space) shellCounts() []int {
+	if len(s.ShellCounts) == 0 {
+		return []int{1}
+	}
+	return s.ShellCounts
+}
+
+// interShells returns the inter-shell axis with its {aligned} default.
+func (s Space) interShells() []string {
+	if len(s.InterShells) == 0 {
+		return []string{econ.InterShellAligned}
+	}
+	return s.InterShells
+}
+
+// activeAxes returns how many axes random draws walk. Spaces that leave
+// both shell axes at a single value keep the legacy 6-axis draw sequence,
+// so every pre-multi-shell seed reproduces its exact search trace; only a
+// space that actually searches over shells consumes the extra draws.
+func (s Space) activeAxes() int {
+	if len(s.shellCounts()) > 1 || len(s.interShells()) > 1 {
+		return axes
+	}
+	return legacyAxes
+}
 
 // dims returns the per-axis cardinalities.
 func (s Space) dims() [axes]int {
 	return [axes]int{len(s.Planes), len(s.SatsPerPlane), len(s.AltitudesKm),
-		len(s.Topologies), len(s.Devices), len(s.Recoveries)}
+		len(s.Topologies), len(s.Devices), len(s.Recoveries),
+		len(s.shellCounts()), len(s.interShells())}
 }
 
 // Size returns the total combination count.
@@ -128,6 +180,10 @@ func (s Space) design(v [axes]int) econ.Design {
 	} else {
 		d.K = topo.K
 		d.Split = topo.Split
+	}
+	if sc := s.shellCounts()[v[6]]; sc > 1 {
+		d.Shells = sc
+		d.InterShell = s.interShells()[v[7]]
 	}
 	return d
 }
@@ -246,9 +302,10 @@ func rngFor(seed int64, i int) *rand.Rand {
 // a bounded number of tries (a space may be almost entirely invalid).
 func randomValid(s Space, ev *Evaluator, rng *rand.Rand) ([axes]int, bool) {
 	dims := s.dims()
+	active := s.activeAxes()
 	for try := 0; try < 64; try++ {
 		var v [axes]int
-		for a := 0; a < axes; a++ {
+		for a := 0; a < active; a++ {
 			v[a] = rng.Intn(dims[a])
 		}
 		if ev.structuralOK(s.design(v)) {
@@ -266,8 +323,9 @@ func randomValid(s Space, ev *Evaluator, rng *rand.Rand) ([axes]int, bool) {
 // trapping a chain behind a one-step valley.
 func neighbor(s Space, ev *Evaluator, v [axes]int, rng *rand.Rand) ([axes]int, bool) {
 	dims := s.dims()
+	active := s.activeAxes()
 	for try := 0; try < 32; try++ {
-		a := rng.Intn(axes)
+		a := rng.Intn(active)
 		if dims[a] < 2 {
 			continue
 		}

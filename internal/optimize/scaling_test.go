@@ -1,0 +1,143 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+
+	"spacedc/internal/econ"
+	"spacedc/internal/isl"
+	"spacedc/internal/netsim"
+)
+
+// scalingSpace covers the two altitudes the scaling tests evaluate at, so
+// NewEvaluator precomputes both environment traces.
+func scalingSpace() Space {
+	return Space{
+		Planes:       []int{1, 3},
+		SatsPerPlane: []int{8},
+		AltitudesKm:  []float64{550},
+		Topologies:   []TopoChoice{{K: 2, Split: 1}},
+		Devices:      []int{2},
+		Recoveries:   []string{econ.RecoveryRetry},
+	}
+}
+
+// TestPlanesScalingMatchesDirectSimulation pins Evaluate's
+// DeliveredRate × Planes network objective against a directly simulated
+// full-size constellation. Planes are identical and disconnected by
+// construction, so the per-plane shortcut must reproduce the full run: a
+// P-plane design simulated whole — as P equal shells at the same altitude,
+// whose index-aligned cross links join equal-distance nodes the canonical
+// router never takes — delivers exactly P× the per-plane segments, and the
+// same rate up to summation rounding.
+func TestPlanesScalingMatchesDirectSimulation(t *testing.T) {
+	const planes = 3
+	d := econ.Design{
+		Planes: planes, SatsPerPlane: 8, AltitudeKm: 550,
+		K: 2, Split: 1, DevicesPerSuDC: 2, Recovery: econ.RecoveryRetry,
+	}
+	ev, err := NewEvaluator(EvalConfig{ComputeDurationSec: 120}, scalingSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	score, err := ev.Evaluate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !score.Feasible {
+		t.Fatalf("design infeasible: %s", score.Reason)
+	}
+
+	// Re-run the per-plane scenario Evaluate used, verbatim, to pin the
+	// formula itself.
+	spec, err := ev.specFor(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := netsim.Scenario{
+		Name:        Key(d),
+		Topology:    spec,
+		PerSat:      ev.cfg.PerSat,
+		StepSec:     ev.cfg.NetStepSec,
+		EpochSec:    ev.cfg.NetEpochSec,
+		DurationSec: ev.cfg.NetDurationSec,
+		Seed:        seedFor(d),
+	}
+	perPlane, err := netsim.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := float64(perPlane.DeliveredRate) / 1e6 * planes; score.NetworkMbps != want {
+		t.Errorf("NetworkMbps = %v, want exactly DeliveredRate/1e6 × Planes = %v", score.NetworkMbps, want)
+	}
+
+	// Simulate the full constellation in one graph: P equal shells at the
+	// same altitude stand in for P disjoint planes.
+	full := base
+	full.Topology = netsim.TopologySpec{Kind: netsim.ClusterTopology, Tech: isl.Optical10G}
+	for i := 0; i < planes; i++ {
+		full.Topology.Shells = append(full.Topology.Shells, netsim.ShellSpec{
+			Sats: d.SatsPerPlane, Cluster: isl.Topology{K: d.K, Split: d.Split}, AltKm: d.AltitudeKm,
+		})
+		if i > 0 {
+			full.Topology.InterShell = append(full.Topology.InterShell,
+				netsim.InterShellRule{Kind: netsim.InterShellAligned})
+		}
+	}
+	whole, err := netsim.Run(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whole.DeliveredSegs != planes*perPlane.DeliveredSegs {
+		t.Errorf("full-size run delivered %d segments, want exactly %d× the per-plane %d",
+			whole.DeliveredSegs, planes, perPlane.DeliveredSegs)
+	}
+	direct := float64(whole.DeliveredRate) / 1e6
+	if rel := math.Abs(score.NetworkMbps-direct) / direct; rel > 1e-12 {
+		t.Errorf("scaled NetworkMbps %v vs directly simulated %v: rel err %g > 1e-12",
+			score.NetworkMbps, direct, rel)
+	}
+}
+
+// TestMultiShellDesignEvaluates drives a 2-shell design through the full
+// evaluation pipeline: it must come back feasible with a finite positive
+// objective, and its cost denominator must exceed the single-shell
+// design's — the second shell launches at a surcharged altitude, so
+// per-shell pricing has to show up in the $/hour.
+func TestMultiShellDesignEvaluates(t *testing.T) {
+	ev, err := NewEvaluator(EvalConfig{ComputeDurationSec: 120}, scalingSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := econ.Design{
+		Planes: 1, SatsPerPlane: 8, AltitudeKm: 550,
+		K: 2, Split: 1, DevicesPerSuDC: 2, Recovery: econ.RecoveryRetry,
+	}
+	single, err := ev.Evaluate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Shells = 2
+	d.InterShell = econ.InterShellNearest
+	stacked, err := ev.Evaluate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stacked.Feasible {
+		t.Fatalf("2-shell design infeasible: %s", stacked.Reason)
+	}
+	if !(stacked.Objective > 0) || math.IsInf(stacked.Objective, 0) {
+		t.Errorf("2-shell objective %v not finite positive", stacked.Objective)
+	}
+	if stacked.CostPerHour <= single.CostPerHour {
+		t.Errorf("2-shell $/h %v not above single-shell %v — per-shell altitude pricing missing",
+			stacked.CostPerHour, single.CostPerHour)
+	}
+	if stacked.NetworkMbps <= single.NetworkMbps {
+		t.Errorf("2-shell delivered %v Mbps not above single-shell %v — second shell's sources missing",
+			stacked.NetworkMbps, single.NetworkMbps)
+	}
+	if Key(d) == "p1.s8.a550.k2.x1.geo0.dev2.retry" {
+		t.Errorf("multi-shell key %q did not pick up the shell suffix", Key(d))
+	}
+}

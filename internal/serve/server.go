@@ -464,9 +464,13 @@ func (s *Server) evaluate(ctx context.Context, key string, spec *EvalSpec, strea
 // netsimTable renders a parameterized netsim run in the ext-netsim row
 // format.
 func netsimTable(sc netsim.Scenario, r netsim.Result) report.Table {
+	title := fmt.Sprintf("netsim scenario %s (%d sats)", sc.Name, sc.Topology.TotalSats())
+	if shells := len(sc.Topology.Shells); shells > 0 {
+		title = fmt.Sprintf("netsim scenario %s (%d sats, %d shells)", sc.Name, sc.Topology.TotalSats(), shells)
+	}
 	t := report.Table{
 		ID:    "netsim",
-		Title: fmt.Sprintf("netsim scenario %s (%d sats)", sc.Name, sc.Topology.Sats),
+		Title: title,
 		Columns: []string{"scenario", "offered", "delivered", "ratio",
 			"p95 latency (s)", "bottleneck util", "retransmits", "drops"},
 	}

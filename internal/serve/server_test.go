@@ -671,3 +671,72 @@ func TestNetsimRoutingCountersSurface(t *testing.T) {
 		t.Errorf("daemon serve.netsim.topology_rebuilds = %d, want %d", got, resp.Netsim.TopologyRebuilds)
 	}
 }
+
+// TestEvalMultiShellScenario asserts the multi-shell netsim spec end to
+// end: two fresh servers produce byte-identical bodies for a 2-shell
+// stack, the rule names decode, and malformed stacks are rejected with
+// 400s rather than reaching the simulator.
+func TestEvalMultiShellScenario(t *testing.T) {
+	const spec = `{"netsim":{"shells":[{"sats":9,"alt_km":550},{"sats":6,"k":2,"alt_km":800}],` +
+		`"inter_shell":"nearest","per_sat_mbps":500,"duration_sec":30,"link_outage":0.05,"seed":3}}`
+	var bodies [2][]byte
+	for i := range bodies {
+		s := New(Config{})
+		w := post(t, s, "/v1/eval", spec)
+		if w.Code != http.StatusOK {
+			t.Fatalf("server %d: status %d: %s", i, w.Code, w.Body.String())
+		}
+		bodies[i] = w.Body.Bytes()
+	}
+	if !bytes.Equal(bodies[0], bodies[1]) {
+		t.Error("identical multi-shell spec produced different bodies on two fresh servers")
+	}
+	resp := decodeEval(t, bodies[0])
+	if resp.Netsim == nil {
+		t.Fatal("multi-shell eval response missing netsim_result")
+	}
+	if resp.Netsim.DeliveryRatio <= 0 {
+		t.Errorf("delivery ratio %v, want > 0", resp.Netsim.DeliveryRatio)
+	}
+
+	s := New(Config{})
+	for _, bad := range []string{
+		`{"netsim":{"sats":4,"shells":[{"sats":9}],"per_sat_mbps":100}}`,
+		`{"netsim":{"shells":[{"sats":9},{"sats":0}],"per_sat_mbps":100}}`,
+		`{"netsim":{"shells":[{"sats":9},{"sats":6}],"inter_shell":"diagonal","per_sat_mbps":100}}`,
+		`{"netsim":{"shells":[{"sats":9},{"sats":6}],"cross_links":-1,"per_sat_mbps":100}}`,
+	} {
+		if w := post(t, s, "/v1/eval", bad); w.Code != http.StatusBadRequest {
+			t.Errorf("spec %s: status %d, want 400", bad, w.Code)
+		}
+	}
+}
+
+// TestEvalOptimizeShellAxes drives a search whose space carries the
+// shell-count and inter-shell axes through the daemon, asserting the
+// request stays deterministic and yields a feasible best design.
+func TestEvalOptimizeShellAxes(t *testing.T) {
+	const spec = `{"optimize":{"seed":11,"budget":8,"restarts":2,` +
+		`"space":{"planes":[1],"sats_per_plane":[8],"altitudes_km":[550],` +
+		`"topologies":[{"k":2,"split":1}],"devices":[1],"recoveries":["retry"],` +
+		`"shell_counts":[1,2],"inter_shells":["aligned","nearest"]}}}`
+	var bodies [2][]byte
+	for i := range bodies {
+		s := New(Config{})
+		w := post(t, s, "/v1/eval", spec)
+		if w.Code != http.StatusOK {
+			t.Fatalf("server %d: status %d: %s", i, w.Code, w.Body.String())
+		}
+		bodies[i] = w.Body.Bytes()
+	}
+	if !bytes.Equal(bodies[0], bodies[1]) {
+		t.Error("identical shell-axis optimize spec produced different bodies on two fresh servers")
+	}
+	resp := decodeEval(t, bodies[0])
+	if resp.Optimize == nil {
+		t.Fatal("optimize eval response missing optimize_result")
+	}
+	if !resp.Optimize.Best.Score.Feasible || resp.Optimize.Best.Score.Objective <= 0 {
+		t.Errorf("degenerate best candidate: %+v", resp.Optimize.Best)
+	}
+}

@@ -66,6 +66,26 @@ type NetsimSpec struct {
 	SatMTBFSec    float64 `json:"sat_mtbf_sec,omitempty"`
 	SatMTTRSec    float64 `json:"sat_mttr_sec,omitempty"`
 	EclipseOutage bool    `json:"eclipse_outage,omitempty"`
+
+	// Shells, when non-empty, replaces Sats/K/Split/GEOSinks with a
+	// multi-shell stack wired by InterShell cross-links. Every field is
+	// omitempty so single-shell specs hash exactly as they did before the
+	// multi-shell axis existed.
+	Shells []NetsimShell `json:"shells,omitempty"`
+	// InterShell names the cross-link rule between adjacent shells:
+	// "aligned" (default) or "nearest".
+	InterShell string `json:"inter_shell,omitempty"`
+	// CrossLinks caps cross-linked satellite pairs per adjacent shell
+	// pair; 0 means one pair per satellite of the smaller shell.
+	CrossLinks int `json:"cross_links,omitempty"`
+}
+
+// NetsimShell is one shell of a multi-shell NetsimSpec.
+type NetsimShell struct {
+	Sats  int     `json:"sats"`
+	K     int     `json:"k,omitempty"`     // 0 → 2 (ring)
+	Split int     `json:"split,omitempty"` // 0 → 1
+	AltKm float64 `json:"alt_km,omitempty"`
 }
 
 // SchedSpec parameterizes one sched.Simulate run on a device-model
@@ -202,7 +222,24 @@ func (s *EvalSpec) Validate() error {
 		}
 	}
 	if ns := s.Netsim; ns != nil {
-		if ns.Sats <= 0 {
+		if len(ns.Shells) > 0 {
+			if ns.Sats != 0 || ns.GEOSinks != 0 {
+				return fmt.Errorf("netsim: shells and sats/geo_sinks are mutually exclusive")
+			}
+			for i, sh := range ns.Shells {
+				if sh.Sats <= 0 {
+					return fmt.Errorf("netsim: shells[%d]: sats must be positive, got %d", i, sh.Sats)
+				}
+			}
+			switch ns.InterShell {
+			case "", "aligned", "nearest":
+			default:
+				return fmt.Errorf("netsim: unknown inter_shell rule %q (have aligned, nearest)", ns.InterShell)
+			}
+			if ns.CrossLinks < 0 {
+				return fmt.Errorf("netsim: cross_links must be non-negative, got %d", ns.CrossLinks)
+			}
+		} else if ns.Sats <= 0 {
 			return fmt.Errorf("netsim: sats must be positive, got %d", ns.Sats)
 		}
 		if ns.PerSatMbps <= 0 {
@@ -316,6 +353,36 @@ func (ns *NetsimSpec) scenario() netsim.Scenario {
 			Sats:     ns.Sats,
 			Tech:     isl.Optical10G,
 			GEOSinks: ns.GEOSinks,
+		}
+	}
+	if len(ns.Shells) > 0 {
+		topo = netsim.TopologySpec{Kind: netsim.ClusterTopology, Tech: isl.Optical10G}
+		kind := netsim.InterShellAligned
+		if ns.InterShell == "nearest" {
+			kind = netsim.InterShellNearest
+		}
+		for i, sh := range ns.Shells {
+			shK, shSplit := sh.K, sh.Split
+			if shK == 0 {
+				shK = 2
+			}
+			if shSplit == 0 {
+				shSplit = 1
+			}
+			alt := sh.AltKm
+			if alt == 0 {
+				alt = 550 + 250*float64(i)
+			}
+			topo.Shells = append(topo.Shells, netsim.ShellSpec{
+				Sats:    sh.Sats,
+				Cluster: isl.Topology{K: shK, Split: shSplit},
+				AltKm:   alt,
+			})
+			if i > 0 {
+				topo.InterShell = append(topo.InterShell, netsim.InterShellRule{
+					Kind: kind, CrossLinks: ns.CrossLinks,
+				})
+			}
 		}
 	}
 	name := ns.Name
